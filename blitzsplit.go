@@ -1,0 +1,391 @@
+// Package blitzsplit is a join-order optimizer implementing Algorithm
+// blitzsplit from Bennet Vance and David Maier, "Rapid Bushy Join-order
+// Optimization with Cartesian Products" (SIGMOD 1996): exhaustive
+// dynamic-programming search over the complete space of bushy join trees —
+// Cartesian products included — made fast by integer-bitset relation sets,
+// O(1) cardinality recurrences that fully separate join-order enumeration
+// from predicate analysis, and a decomposed cost function evaluated under
+// nested-if pruning.
+//
+// # Quick start
+//
+//	q := blitzsplit.NewQuery()
+//	q.MustAddRelation("orders", 1e6)
+//	q.MustAddRelation("lineitem", 6e6)
+//	q.MustAddRelation("customer", 1.5e5)
+//	q.MustJoin("orders", "lineitem", 1e-6)
+//	q.MustJoin("customer", "orders", 6.7e-6)
+//	res, err := q.Optimize(blitzsplit.WithCostModel("dnl"))
+//	if err != nil { ... }
+//	fmt.Println(res.Expression())
+//	fmt.Println(res.Plan)
+//
+// The package is a facade over the implementation in internal/: the core DP
+// optimizer (internal/core), cost models (internal/cost), join graphs
+// (internal/joingraph), plan trees (internal/plan), baseline optimizers
+// (internal/baseline) and a small execution engine (internal/engine).
+package blitzsplit
+
+import (
+	"errors"
+	"fmt"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/catalog"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/engine"
+	"blitzsplit/internal/hybrid"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+	"blitzsplit/internal/schema"
+)
+
+// Plan is an optimized bushy join tree. Leaves scan base relations; inner
+// nodes join (or, absent spanning predicates, Cartesian-product) their
+// children. See its methods for rendering, validation, and traversal.
+type Plan = plan.Node
+
+// Counters are the instrumentation counts of one optimization run — the
+// §3.3/§6.2 operation counts (split-loop iterations, κ′/κ″ evaluations,
+// threshold skips, passes).
+type Counters = core.Counters
+
+// CostModel is a decomposed join cost function κ = κ′ + κ″ (§3.2).
+type CostModel = cost.Model
+
+// Database is a synthesized in-memory instance that optimized plans can be
+// executed against.
+type Database = engine.Instance
+
+// ErrNoPlan is returned when every plan exceeds the overflow cost limit.
+var ErrNoPlan = core.ErrNoPlan
+
+// Query is a join-order optimization problem under construction. The zero
+// value is not usable; call NewQuery.
+type Query struct {
+	cat   *catalog.Catalog
+	edges []edgeSpec
+}
+
+type edgeSpec struct {
+	a, b        string
+	selectivity float64
+}
+
+// NewQuery returns an empty query.
+func NewQuery() *Query {
+	return &Query{cat: catalog.New()}
+}
+
+// AddRelation adds a base relation with the given name and (estimated)
+// cardinality. Relations are ordered by insertion; at most 30 are supported.
+func (q *Query) AddRelation(name string, cardinality float64) error {
+	_, err := q.cat.Add(catalog.Relation{Name: name, Cardinality: cardinality})
+	return err
+}
+
+// MustAddRelation is AddRelation that panics on error.
+func (q *Query) MustAddRelation(name string, cardinality float64) {
+	if err := q.AddRelation(name, cardinality); err != nil {
+		panic(err)
+	}
+}
+
+// Join declares an equi-join predicate between two previously added
+// relations with the given selectivity in (0, 1].
+func (q *Query) Join(a, b string, selectivity float64) error {
+	if _, ok := q.cat.Index(a); !ok {
+		return fmt.Errorf("blitzsplit: unknown relation %q", a)
+	}
+	if _, ok := q.cat.Index(b); !ok {
+		return fmt.Errorf("blitzsplit: unknown relation %q", b)
+	}
+	q.edges = append(q.edges, edgeSpec{a: a, b: b, selectivity: selectivity})
+	return nil
+}
+
+// MustJoin is Join that panics on error.
+func (q *Query) MustJoin(a, b string, selectivity float64) {
+	if err := q.Join(a, b, selectivity); err != nil {
+		panic(err)
+	}
+}
+
+// NumRelations returns the number of relations added so far.
+func (q *Query) NumRelations() int { return q.cat.Len() }
+
+// RelationNames returns the relation names in insertion order — the index
+// order used in Plan leaves.
+func (q *Query) RelationNames() []string { return q.cat.Names() }
+
+// build materializes the internal query representation.
+func (q *Query) build() (core.Query, error) {
+	n := q.cat.Len()
+	if n == 0 {
+		return core.Query{}, errors.New("blitzsplit: query has no relations")
+	}
+	var g *joingraph.Graph
+	if len(q.edges) > 0 {
+		g = joingraph.New(n)
+		for _, e := range q.edges {
+			ai, _ := q.cat.Index(e.a)
+			bi, _ := q.cat.Index(e.b)
+			if err := g.AddEdge(ai, bi, e.selectivity); err != nil {
+				return core.Query{}, err
+			}
+		}
+	}
+	return core.Query{Cards: q.cat.Cardinalities(), Graph: g}, nil
+}
+
+// config collects optimization options.
+type config struct {
+	opts      core.Options
+	attachAlg bool
+}
+
+// Option configures Optimize.
+type Option func(*config) error
+
+// WithCostModel selects the cost model by name: "naive" (κ0), "sortmerge"
+// (κsm), "dnl" (κdnl), "hash", or a composite like "min(sortmerge,dnl)"
+// modelling the availability of multiple join algorithms (§6.5). The default
+// is "naive".
+func WithCostModel(name string) Option {
+	return func(c *config) error {
+		m, err := cost.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.opts.Model = m
+		return nil
+	}
+}
+
+// WithModel supplies a CostModel value directly.
+func WithModel(m CostModel) Option {
+	return func(c *config) error {
+		if m == nil {
+			return errors.New("blitzsplit: nil cost model")
+		}
+		c.opts.Model = m
+		return nil
+	}
+}
+
+// WithLeftDeep restricts the search to left-deep vines (the comparison space
+// of §6.2). Cartesian products remain allowed.
+func WithLeftDeep() Option {
+	return func(c *config) error {
+		c.opts.LeftDeep = true
+		return nil
+	}
+}
+
+// WithCostThreshold enables §6.4 plan-cost-threshold pruning: plans costing
+// more than threshold are summarily rejected, and optimization retries with
+// a 1000× larger threshold whenever a pass finds no plan. Queries with cheap
+// plans optimize faster; expensive ones pay for extra passes.
+func WithCostThreshold(threshold float64) Option {
+	return func(c *config) error {
+		if threshold <= 0 {
+			return errors.New("blitzsplit: cost threshold must be positive")
+		}
+		c.opts.CostThreshold = threshold
+		return nil
+	}
+}
+
+// WithOverflowLimit overrides the cost overflow limit (default: the
+// single-precision float maximum, mirroring the paper's float32 cost
+// representation, §6.3).
+func WithOverflowLimit(limit float64) Option {
+	return func(c *config) error {
+		if limit <= 0 {
+			return errors.New("blitzsplit: overflow limit must be positive")
+		}
+		c.opts.OverflowLimit = limit
+		return nil
+	}
+}
+
+// WithAlgorithms attaches the winning physical join algorithm to every join
+// node after optimization (meaningful with a min(...) composite model; §6.5).
+func WithAlgorithms() Option {
+	return func(c *config) error {
+		c.attachAlg = true
+		return nil
+	}
+}
+
+// Result is the outcome of Optimize.
+type Result struct {
+	// Plan is the optimal join tree.
+	Plan *Plan
+	// Cost is the plan's estimated cost under the chosen model.
+	Cost float64
+	// Cardinality is the estimated result size.
+	Cardinality float64
+	// Counters holds the §3.3 instrumentation for the run.
+	Counters Counters
+
+	names []string
+}
+
+// Expression renders the plan as a parenthesized join expression using the
+// query's relation names.
+func (r *Result) Expression() string { return r.Plan.Expression(r.names) }
+
+// Optimize runs Algorithm blitzsplit over the query and returns the optimal
+// bushy plan.
+func (q *Query) Optimize(options ...Option) (*Result, error) {
+	var cfg config
+	for _, o := range options {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Optimize(cq, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.attachAlg {
+		m := cfg.opts.Model
+		if m == nil {
+			m = cost.Naive{}
+		}
+		res.Plan.AttachAlgorithms(m)
+	}
+	return &Result{
+		Plan:        res.Plan,
+		Cost:        res.Cost,
+		Cardinality: res.Cardinality,
+		Counters:    res.Counters,
+		names:       q.cat.Names(),
+	}, nil
+}
+
+// RelSet is a set of relation indexes packed into a machine word — the §4.1
+// representation that blitzsplit's speed rests on. Plan nodes carry one; the
+// Hypergraph API consumes them.
+type RelSet = bitset.Set
+
+// Rels builds a RelSet from relation indexes: Rels(0, 2) = {R0, R2}.
+func Rels(indexes ...int) RelSet { return bitset.Of(indexes...) }
+
+// Estimator supplies per-subset cardinality factors for predicate structures
+// beyond binary join graphs (§5.4's generalization hook): join hypergraphs
+// and implied-predicate equivalence classes.
+type Estimator = core.CardEstimator
+
+// Hypergraph is a join graph whose predicates may span more than two
+// relations. Build one with NewHypergraph and pass it to
+// OptimizeWithEstimator.
+type Hypergraph = joingraph.Hypergraph
+
+// NewHypergraph returns an edgeless hypergraph over n relations.
+func NewHypergraph(n int) *Hypergraph { return joingraph.NewHypergraph(n) }
+
+// Schema models join predicates as column equalities with distinct-value
+// counts; transitively equated columns form equivalence classes, giving
+// correct cardinalities for implied and redundant predicates. Build one with
+// NewSchema and pass it to OptimizeWithEstimator.
+type Schema = schema.Schema
+
+// NewSchema returns an empty schema over n relations.
+func NewSchema(n int) *Schema { return schema.New(n) }
+
+// OptimizeWithEstimator runs blitzsplit over base cardinalities with a
+// custom cardinality estimator instead of a binary join graph.
+func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*Result, error) {
+	if est == nil {
+		return nil, errors.New("blitzsplit: nil estimator")
+	}
+	var cfg config
+	for _, o := range options {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.Optimize(core.Query{Cards: cards, Estimator: est}, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.attachAlg {
+		m := cfg.opts.Model
+		if m == nil {
+			m = cost.Naive{}
+		}
+		res.Plan.AttachAlgorithms(m)
+	}
+	return &Result{
+		Plan:        res.Plan,
+		Cost:        res.Cost,
+		Cardinality: res.Cardinality,
+		Counters:    res.Counters,
+	}, nil
+}
+
+// OptimizeLarge optimizes queries beyond exhaustive reach (n into the 20s)
+// with iterative dynamic programming of the given block size followed by
+// randomized local-search polishing — the hybrid direction the paper's §7
+// sketches. blockSize ≤ 0 selects 10. The returned Result carries no
+// optimizer counters (the hybrid does not run the full blitzsplit table).
+// Plans are near-optimal, not guaranteed optimal; with blockSize ≥ the
+// relation count the result is the exact optimum.
+func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error) {
+	var cfg config
+	for _, o := range options {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.opts.Model
+	if m == nil {
+		m = cost.Naive{}
+	}
+	res, err := hybrid.ChainedLocal(cq.Cards, cq.Graph, m, hybrid.IDPOptions{
+		K:          blockSize,
+		Stochastic: baseline.StochasticOptions{Seed: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.attachAlg {
+		res.Plan.AttachAlgorithms(m)
+	}
+	return &Result{
+		Plan:        res.Plan,
+		Cost:        res.Cost,
+		Cardinality: res.Plan.Card,
+		names:       q.cat.Names(),
+	}, nil
+}
+
+// Synthesize materializes an in-memory database instance matching the
+// query's cardinalities and selectivities (deterministically from seed), so
+// optimized plans can be executed and estimates compared against actual
+// result sizes.
+func (q *Query) Synthesize(seed int64) (*Database, error) {
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Synthesize(cq.Cards, cq.Graph, seed)
+}
+
+// Execute runs a plan against a synthesized database and returns the actual
+// result cardinality.
+func Execute(db *Database, p *Plan) (int, error) {
+	return db.Count(p, engine.ExecOptions{})
+}

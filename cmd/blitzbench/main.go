@@ -1,0 +1,72 @@
+// Command blitzbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	blitzbench -exp fig2               # Figure 2: Cartesian products vs n
+//	blitzbench -exp fig4               # Figure 4: 4-D sensitivity sweep (slow)
+//	blitzbench -exp fig5               # Figure 5: the two close-up cells
+//	blitzbench -exp fig6               # Figure 6: plan-cost thresholds
+//	blitzbench -exp table1             # Table 1: the worked DP example
+//	blitzbench -exp counts             # §6.2 execution-count analysis
+//	blitzbench -exp joinvscp           # §6.2: 15-way joins vs 15-way products
+//	blitzbench -exp ablate             # implementation-trick ablations
+//	blitzbench -exp baselines          # blitzsplit vs Selinger/no-CP/stochastic
+//	blitzbench -exp all                # everything above
+//
+// Flags:
+//
+//	-n int          relation count for the sweeps (default 15, the paper's)
+//	-budget dur     minimum wall time per measured point (default 200ms)
+//	-maxn int       top n for fig2 (default 15)
+//	-csv path       also write raw measurements as CSV
+//	-quiet          suppress per-case progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"blitzsplit/internal/bench"
+)
+
+func main() {
+	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|all")
+	n := fs.Int("n", 15, "relation count for the §6 sweeps")
+	maxN := fs.Int("maxn", 15, "largest n for fig2")
+	budget := fs.Duration("budget", 200*time.Millisecond, "minimum wall time per measured point")
+	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
+	quiet := fs.Bool("quiet", false, "suppress per-case progress")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *exp == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	cfg := bench.Config{
+		N:        *n,
+		MaxN:     *maxN,
+		Budget:   *budget,
+		Progress: progress,
+		Out:      os.Stdout,
+	}
+	var err error
+	for _, name := range strings.Split(*exp, ",") {
+		if e := bench.Run(strings.TrimSpace(name), cfg, *csvPath); e != nil {
+			fmt.Fprintln(os.Stderr, "blitzbench:", e)
+			err = e
+		}
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}

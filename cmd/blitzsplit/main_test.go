@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/plan"
+	"blitzsplit/internal/spec"
+)
+
+func writeExampleSpec(t *testing.T) string {
+	t.Helper()
+	data, err := json.Marshal(spec.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "q.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExampleFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Parse([]byte(out.String())); err != nil {
+		t.Errorf("-example output is not a valid spec: %v", err)
+	}
+}
+
+func TestOptimizeSpec(t *testing.T) {
+	path := writeExampleSpec(t)
+	var out strings.Builder
+	if err := run([]string{"-model", "dnl", "-counters", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"expression:", "cost:", "cardinality:", "counters:", "loop_iters="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJSONOutputIsValidPlan(t *testing.T) {
+	path := writeExampleSpec(t)
+	var out strings.Builder
+	if err := run([]string{"-json", "-algorithms", "-model", "min(sortmerge,dnl)", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.FromJSON([]byte(out.String()))
+	if err != nil {
+		t.Fatalf("-json output invalid: %v", err)
+	}
+	if p.Relations() != 4 {
+		t.Errorf("plan covers %d relations", p.Relations())
+	}
+	annotated := false
+	p.Walk(func(n *plan.Node) {
+		if n.Algorithm != "" {
+			annotated = true
+		}
+	})
+	if !annotated {
+		t.Error("-algorithms did not annotate")
+	}
+}
+
+func TestLeftDeepFlag(t *testing.T) {
+	path := writeExampleSpec(t)
+	var out strings.Builder
+	if err := run([]string{"-json", "-leftdeep", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.FromJSON([]byte(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsLeftDeep() {
+		t.Error("-leftdeep produced a bushy plan")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no spec accepted")
+	}
+	if err := run([]string{"/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec accepted")
+	}
+	path := writeExampleSpec(t)
+	if err := run([]string{"-model", "bogus", path}, &out); err == nil {
+		t.Error("bogus model accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/spec"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestGenerateAllTopologies(t *testing.T) {
+	cases := map[string][]string{
+		"chain":   {"-topology", "chain", "-n", "6"},
+		"cycle+3": {"-topology", "cycle+3", "-n", "9"},
+		"star":    {"-topology", "star", "-n", "6"},
+		"clique":  {"-topology", "clique", "-n", "6"},
+		"grid":    {"-topology", "grid", "-n", "6", "-rows", "2"},
+		"random":  {"-topology", "random", "-n", "6", "-extra", "2", "-seed", "7"},
+	}
+	for name, args := range cases {
+		out := gen(t, args...)
+		f, err := spec.Parse([]byte(out))
+		if err != nil {
+			t.Errorf("%s: generated spec invalid: %v", name, err)
+			continue
+		}
+		if len(f.Relations) != 6 && name != "cycle+3" {
+			t.Errorf("%s: %d relations", name, len(f.Relations))
+		}
+		q, _, err := f.Query()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if q.Graph == nil {
+			t.Errorf("%s: no join graph", name)
+		}
+	}
+}
+
+func TestGenerateRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "bogus"},
+		{"-n", "0"},
+		{"-n", "40"},
+		{"-topology", "grid", "-n", "7", "-rows", "3"},
+		{"-mean", "0.5"},
+		{"-var", "1.5"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := gen(t, "-topology", "random", "-n", "8", "-seed", "3")
+	b := gen(t, "-topology", "random", "-n", "8", "-seed", "3")
+	if a != b {
+		t.Error("random topology not deterministic in seed")
+	}
+}

@@ -1,0 +1,66 @@
+// Command planviz renders a plan tree produced by `blitzsplit -json` as an
+// ASCII outline and a parenthesized join expression.
+//
+// Usage:
+//
+//	blitzsplit -json query.json > plan.json
+//	planviz plan.json
+//	planviz -stats plan.json      # also print shape statistics
+//
+// Reading from stdin:
+//
+//	blitzsplit -json query.json | planviz -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"blitzsplit/internal/plan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "planviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print shape statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one plan file (or - for stdin)")
+	}
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	p, err := plan.FromJSON(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, p.Expression(nil))
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, p)
+	if *stats {
+		shape := "bushy"
+		if p.IsLeftDeep() {
+			shape = "left-deep"
+		}
+		fmt.Fprintf(out, "\nrelations=%d joins=%d depth=%d shape=%s cost=%.6g card=%.6g\n",
+			p.Relations(), p.Joins(), p.Depth(), shape, p.Cost, p.Card)
+	}
+	return nil
+}

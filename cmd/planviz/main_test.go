@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validPlan = `{
+  "set": 3, "card": 200, "cost": 200,
+  "left":  {"set": 1, "rel": 0, "card": 10},
+  "right": {"set": 2, "rel": 1, "card": 20}
+}`
+
+func TestRenderFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte(validPlan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-stats", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"(R0 ⨝ R1)", "scan R0", "relations=2", "shape=left-deep"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderFromStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-"}, strings.NewReader(validPlan), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "join") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRejects(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, strings.NewReader(""), &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("not json"), &out); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := run([]string{"/nonexistent/plan.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Structurally invalid plan (child set mismatch).
+	bad := `{"set": 3, "left": {"set": 1, "rel": 0}, "right": {"set": 4, "rel": 2}}`
+	if err := run([]string{"-"}, strings.NewReader(bad), &out); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

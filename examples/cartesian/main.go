@@ -1,0 +1,53 @@
+// Cartesian: reproduce the paper's worked example (Table 1) — optimizing the
+// pure product A × B × C × D — and then scale pure Cartesian-product
+// optimization up to 15 relations, the Figure-2 scenario, printing the
+// measured time and the exact §3.3 operation counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"blitzsplit"
+)
+
+func main() {
+	// --- Table 1 ---
+	q := blitzsplit.NewQuery()
+	q.MustAddRelation("A", 10)
+	q.MustAddRelation("B", 20)
+	q.MustAddRelation("C", 30)
+	q.MustAddRelation("D", 40)
+	res, err := q.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 1 example — optimal product expression:")
+	fmt.Printf("  %s   cost=%.0f cardinality=%.0f\n", res.Expression(), res.Cost, res.Cardinality)
+	fmt.Println("  (paper: (A ⨯ D) ⨯ (B ⨯ C), cost 241000 — same plan up to commutation)")
+	fmt.Println()
+
+	// --- Figure 2 scenario: products of n equal relations ---
+	fmt.Println("Cartesian-product optimization times (Figure 2 scenario):")
+	fmt.Printf("%4s %14s %16s %16s\n", "n", "time", "loop iters", "3^n - 2^(n+1) + 1")
+	for n := 4; n <= 15; n++ {
+		// Cardinality 10 keeps the 15-way product (10¹⁵) far below the
+		// float32 overflow limit the optimizer mirrors from §6.3; under κ0
+		// the timing does not depend on the cardinality.
+		q := blitzsplit.NewQuery()
+		for i := 0; i < n; i++ {
+			q.MustAddRelation(fmt.Sprintf("R%d", i), 10)
+		}
+		start := time.Now()
+		res, err := q.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		predicted := math.Pow(3, float64(n)) - math.Pow(2, float64(n+1)) + 1
+		fmt.Printf("%4d %14v %16d %16.0f\n", n, elapsed, res.Counters.LoopIters, predicted)
+	}
+	fmt.Println("\n(paper: ~0.9 s at n=15 on a 1996 HP 9000/755; loop iterations are exact and machine-independent)")
+}

@@ -1,0 +1,95 @@
+// Sharedkey: the two §5/§6.5 extensions working together on a shared-key
+// schema (several relations all joining on one key, as in a star with a
+// conformed dimension key).
+//
+//  1. Implied & redundant predicates: declaring A.k=B.k and B.k=C.k makes
+//     A.k=C.k available automatically (equivalence classes), and declaring it
+//     redundantly changes nothing — unlike a naive pairwise join graph, which
+//     double-counts the constraint and underestimates cardinalities 100×.
+//  2. Interesting sort orders: because every predicate is on the same
+//     attribute, a sorted intermediate can be merged again without re-sorting;
+//     the order-aware DP quantifies what the paper's §6.5 open problem is
+//     worth on this query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blitzsplit"
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/orders"
+)
+
+func main() {
+	const keyDomain = 1000
+	cards := []float64{200_000, 150_000, 120_000, 80_000, 50_000}
+	names := []string{"clicks", "orders", "shipments", "returns", "reviews"}
+
+	// --- 1. implied predicates via the schema ---
+	s := blitzsplit.NewSchema(len(cards))
+	for i := range cards {
+		s.MustAddColumn(i, "customer_key", keyDomain)
+	}
+	// Declare a chain of equalities; the rest of the clique is implied.
+	for i := 1; i < len(cards); i++ {
+		s.MustEquate(i-1, "customer_key", i, "customer_key")
+	}
+	res, err := blitzsplit.OptimizeWithEstimator(cards, s, blitzsplit.WithCostModel("sortmerge"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("class-aware optimization (chain of equalities declared):")
+	fmt.Printf("  estimated result cardinality: %.6g\n", res.Cardinality)
+	fmt.Printf("  plan: %s\n", res.Plan.Expression(names))
+	fmt.Printf("  cost: %.6g\n\n", res.Cost)
+
+	// Redundant declarations change nothing.
+	s2 := blitzsplit.NewSchema(len(cards))
+	for i := range cards {
+		s2.MustAddColumn(i, "customer_key", keyDomain)
+	}
+	for i := 0; i < len(cards); i++ {
+		for j := i + 1; j < len(cards); j++ {
+			s2.MustEquate(i, "customer_key", j, "customer_key") // all 10 pairs
+		}
+	}
+	res2, err := blitzsplit.OptimizeWithEstimator(cards, s2, blitzsplit.WithCostModel("sortmerge"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with all 10 pairwise predicates declared (8 redundant): cardinality %.6g — unchanged: %v\n",
+		res2.Cardinality, res2.Cardinality == res.Cardinality)
+
+	// The naive pairwise closure overcounts: each of the 10 edges contributes
+	// 1/keyDomain, instead of the 4 independent constraints.
+	naive, err := s2.ClosureGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveCard := naive.JoinCardinality(bitset.Full(len(cards)), cards)
+	fmt.Printf("naive pairwise-closure estimate: %.6g  (%.0f× underestimate)\n\n",
+		naiveCard, res.Cardinality/naiveCard)
+
+	// --- 2. interesting orders on the same query ---
+	declared, err := s.DeclaredGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	attrs := make([]int, declared.NumEdges()) // every predicate: attribute 0
+	ores, err := orders.Optimize(orders.Problem{
+		Cards:    cards,
+		Graph:    declared,
+		EdgeAttr: attrs,
+	}, orders.CostParams{HashFactor: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("order-aware optimization (one shared sort attribute):")
+	fmt.Printf("  property-blind cost: %.6g\n", ores.NaiveCost)
+	fmt.Printf("  order-aware cost:    %.6g  (%.2f× cheaper — sorts amortized across merges)\n",
+		ores.Cost, ores.NaiveCost/ores.Cost)
+	fmt.Printf("  (set,order) states explored: %d vs 2^n−1 = %d for plain blitzsplit\n\n",
+		ores.States, (1<<uint(len(cards)))-1)
+	fmt.Println(ores.Plan)
+}

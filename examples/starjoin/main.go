@@ -1,0 +1,74 @@
+// Starjoin: the data-warehouse scenario that motivates keeping Cartesian
+// products in the search space. A large fact table joins several small,
+// highly selective dimension tables; the classic optimal strategy products
+// the tiny dimensions together first and hits the fact table once. Optimizers
+// that exclude Cartesian products a priori (System-R-style) cannot find that
+// plan — this example quantifies what the exclusion costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blitzsplit"
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+)
+
+func main() {
+	// A star: facts(50M rows) with four small dimensions, each connected only
+	// to the fact table with strong predicates (e.g. "day = …", "store = …").
+	cards := []float64{50_000_000, 8, 12, 30, 100}
+	names := []string{"facts", "channel", "month", "region", "product"}
+	sels := []float64{1.0 / 8, 1.0 / 12, 1.0 / 30, 1.0 / 100}
+
+	q := blitzsplit.NewQuery()
+	for i, n := range names {
+		q.MustAddRelation(n, cards[i])
+	}
+	for i := 1; i < len(names); i++ {
+		q.MustJoin("facts", names[i], sels[i-1])
+	}
+
+	model := "dnl"
+	bushy, err := q.Optimize(blitzsplit.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("blitzsplit (bushy, Cartesian products allowed):")
+	fmt.Printf("  %s\n  cost %.6g\n\n", bushy.Expression(), bushy.Cost)
+	fmt.Println(bushy.Plan)
+
+	// Count the Cartesian products in the winning plan: joins whose children
+	// share no predicate.
+	g := joingraph.New(len(cards))
+	for i := 1; i < len(cards); i++ {
+		g.MustAddEdge(0, i, sels[i-1])
+	}
+	products := 0
+	bushy.Plan.Walk(func(n *blitzsplit.Plan) {
+		if !n.IsLeaf() && g.SpanProduct(n.Left.Set, n.Right.Set) == 1 {
+			products++
+		}
+	})
+	fmt.Printf("\nCartesian products in the optimal plan: %d\n\n", products)
+
+	// The same query under optimizers that exclude products.
+	m := cost.NewDiskNestedLoops()
+	sel, err := baseline.SelingerLeftDeep(cards, g, m, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noCP, err := baseline.BushyNoCP(cards, g, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan-cost comparison (lower is better):")
+	fmt.Printf("  %-38s %14.6g\n", "blitzsplit (bushy, with products)", bushy.Cost)
+	fmt.Printf("  %-38s %14.6g   (%.2f× worse)\n", "bushy DP, products excluded", noCP.Cost, noCP.Cost/bushy.Cost)
+	fmt.Printf("  %-38s %14.6g   (%.2f× worse)\n", "Selinger left-deep, products excluded", sel.Cost, sel.Cost/bushy.Cost)
+	fmt.Println("\nThe paper's §7 point: excluding products a priori is \"redundant at best, and")
+	fmt.Println("potentially harmful\" — blitzsplit dismisses wasteful products on its own and")
+	fmt.Println("keeps the useful ones.")
+}

@@ -1,0 +1,119 @@
+package blitzsplit
+
+// Tests for the facade's extension surface: custom estimators (hypergraphs,
+// schemas) and the large-n hybrid path.
+
+import (
+	"math"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/joingraph"
+)
+
+func TestOptimizeWithHypergraph(t *testing.T) {
+	h := NewHypergraph(3)
+	if err := h.AddEdge(bitset.Of(0, 1, 2), 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeWithEstimator([]float64{50, 20, 80}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 50 * 20 * 80 * 1e-4; relDiff(res.Cardinality, want) > 1e-9 {
+		t.Errorf("cardinality = %v, want %v", res.Cardinality, want)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := OptimizeWithEstimator([]float64{1, 2}, nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	if _, err := OptimizeWithEstimator([]float64{1, 2}, h, WithCostModel("bogus")); err == nil {
+		t.Error("bad option accepted")
+	}
+}
+
+func TestOptimizeWithSchema(t *testing.T) {
+	s := NewSchema(3)
+	s.MustAddColumn(0, "k", 100)
+	s.MustAddColumn(1, "k", 100)
+	s.MustAddColumn(2, "k", 100)
+	s.MustEquate(0, "k", 1, "k")
+	s.MustEquate(1, "k", 2, "k")
+	cards := []float64{1000, 2000, 3000}
+	res, err := OptimizeWithEstimator(cards, s, WithCostModel("dnl"), WithAlgorithms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared key: |result| = ∏cards / 100².
+	if want := 1000.0 * 2000 * 3000 / 1e4; relDiff(res.Cardinality, want) > 1e-9 {
+		t.Errorf("cardinality = %v, want %v", res.Cardinality, want)
+	}
+	res.Plan.Walk(func(n *Plan) {
+		if !n.IsLeaf() && n.Algorithm == "" {
+			t.Error("WithAlgorithms did not annotate")
+		}
+	})
+}
+
+func TestOptimizeLargeMatchesExactWhenBlockCovers(t *testing.T) {
+	q := NewQuery()
+	q.MustAddRelation("a", 100)
+	q.MustAddRelation("b", 400)
+	q.MustAddRelation("c", 50)
+	q.MustAddRelation("d", 900)
+	q.MustJoin("a", "b", 0.01)
+	q.MustJoin("b", "c", 0.02)
+	q.MustJoin("c", "d", 0.005)
+	exact, err := q.Optimize(WithCostModel("dnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := q.OptimizeLarge(10, WithCostModel("dnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(large.Cost, exact.Cost) > 1e-9 {
+		t.Errorf("OptimizeLarge(k≥n) %v ≠ exact %v", large.Cost, exact.Cost)
+	}
+	if large.Expression() == "" {
+		t.Error("expression empty")
+	}
+}
+
+func TestOptimizeLargeTwentyRelations(t *testing.T) {
+	n := 20
+	cards := joingraph.CardinalityLadder(n, 200, 0.5)
+	g := joingraph.Build(joingraph.AppendixChainEdges(n), cards)
+	q := NewQuery()
+	for i := 0; i < n; i++ {
+		q.MustAddRelation(relName(i), cards[i])
+	}
+	for _, e := range g.Edges() {
+		q.MustJoin(relName(e.A), relName(e.B), e.Selectivity)
+	}
+	res, err := q.OptimizeLarge(6, WithCostModel("sortmerge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Relations() != n {
+		t.Errorf("plan covers %d relations", res.Plan.Relations())
+	}
+	if math.IsInf(res.Cost, 0) || res.Cost <= 0 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if _, err := NewQuery().OptimizeLarge(5); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := q.OptimizeLarge(5, WithCostModel("bogus")); err == nil {
+		t.Error("bad option accepted")
+	}
+}
+
+func relName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}

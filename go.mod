@@ -1,0 +1,3 @@
+module blitzsplit
+
+go 1.22

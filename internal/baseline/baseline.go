@@ -1,0 +1,215 @@
+// Package baseline implements the join-order optimizers the paper positions
+// blitzsplit against (§2): a Selinger-style left-deep dynamic program that
+// excludes Cartesian products, an Ono–Lohman-style bushy dynamic program over
+// connected subgraphs (also excluding products), an exhaustive plan
+// enumerator used as a ground-truth oracle, and the stochastic searches
+// surveyed by Steinbrunn — iterative improvement and simulated annealing over
+// bushy trees with the classic commute / associate / exchange moves.
+//
+// These implementations deliberately share no code with internal/core's DP
+// table, so agreement between a baseline and blitzsplit in tests is a genuine
+// cross-check rather than a tautology.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// Result is the outcome of a baseline optimization.
+type Result struct {
+	// Plan is the best plan found.
+	Plan *plan.Node
+	// Cost is the plan's estimated cost.
+	Cost float64
+	// Considered counts the joins (or complete plans, for the stochastic
+	// searches) the optimizer evaluated.
+	Considered uint64
+}
+
+// ErrDisconnected is returned by the no-Cartesian-product baselines when the
+// join graph does not connect all relations, so no product-free plan exists.
+var ErrDisconnected = errors.New("baseline: join graph is disconnected; no plan without Cartesian products")
+
+func validate(cards []float64, g *joingraph.Graph) error {
+	n := len(cards)
+	if n == 0 {
+		return errors.New("baseline: no relations")
+	}
+	if n > bitset.MaxRelations {
+		return fmt.Errorf("baseline: %d relations exceeds maximum %d", n, bitset.MaxRelations)
+	}
+	if g != nil && g.N() != n {
+		return fmt.Errorf("baseline: graph covers %d relations, query has %d", g.N(), n)
+	}
+	return nil
+}
+
+// cardOf computes the §5.1 intermediate cardinality of s directly.
+func cardOf(s bitset.Set, cards []float64, g *joingraph.Graph) float64 {
+	if g == nil {
+		c := 1.0
+		s.ForEach(func(i int) { c *= cards[i] })
+		return c
+	}
+	return g.JoinCardinality(s, cards)
+}
+
+// SelingerLeftDeep is the System R strategy [SAC+79] as the paper describes
+// it: exhaustive dynamic programming over left-deep plans with Cartesian
+// products excluded (each relation joined in must share a predicate with the
+// relations already joined). allowProducts lifts that exclusion, giving the
+// full left-deep space including products. Interesting orders are not
+// modelled.
+func SelingerLeftDeep(cards []float64, g *joingraph.Graph, m cost.Model, allowProducts bool) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	if g == nil && !allowProducts {
+		return nil, ErrDisconnected
+	}
+	n := len(cards)
+	full := bitset.Full(n)
+	size := 1 << uint(n)
+	bestCost := make([]float64, size)
+	bestLast := make([]int8, size) // the relation joined last; -1 = unset
+	card := make([]float64, size)
+	for s := 1; s < size; s++ {
+		bestCost[s] = math.Inf(1)
+		bestLast[s] = -1
+		card[s] = cardOf(bitset.Set(s), cards, g)
+	}
+	for i := 0; i < n; i++ {
+		s := bitset.Single(i)
+		bestCost[s] = 0
+	}
+	var considered uint64
+	// Process subsets in numeric order: every proper subset precedes its
+	// supersets.
+	for si := 3; si < size; si++ {
+		s := bitset.Set(si)
+		if s.IsSingleton() {
+			continue
+		}
+		out := card[si]
+		var best float64 = math.Inf(1)
+		last := int8(-1)
+		s.ForEach(func(i int) {
+			rest := s.Remove(i)
+			if math.IsInf(bestCost[rest], 1) {
+				return
+			}
+			if !allowProducts && !g.Neighbors(i).Overlaps(rest) {
+				return // no predicate connects Ri to the prefix
+			}
+			considered++
+			total := bestCost[rest] + cost.Total(m, out, card[rest], cards[i])
+			if total < best {
+				best = total
+				last = int8(i)
+			}
+		})
+		bestCost[si] = best
+		bestLast[si] = last
+	}
+	if math.IsInf(bestCost[full], 1) {
+		return nil, ErrDisconnected
+	}
+	var build func(s bitset.Set) *plan.Node
+	build = func(s bitset.Set) *plan.Node {
+		if s.IsSingleton() {
+			return plan.Leaf(s.Min(), cards[s.Min()])
+		}
+		i := int(bestLast[s])
+		left := build(s.Remove(i))
+		node := &plan.Node{
+			Set:   s,
+			Card:  card[s],
+			Cost:  bestCost[s],
+			Left:  left,
+			Right: plan.Leaf(i, cards[i]),
+		}
+		return node
+	}
+	return &Result{Plan: build(full), Cost: bestCost[full], Considered: considered}, nil
+}
+
+// BushyNoCP is an Ono–Lohman/Starburst-style bushy dynamic program that
+// excludes Cartesian products: only connected subgraphs get table entries,
+// and only splits into two connected halves are considered (for a connected
+// set, any 2-partition has a crossing predicate). Its join count is the
+// quantity Ono & Lohman analyze as O(n·2^n)–O(3^n) depending on topology.
+func BushyNoCP(cards []float64, g *joingraph.Graph, m cost.Model) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, ErrDisconnected
+	}
+	n := len(cards)
+	full := bitset.Full(n)
+	size := 1 << uint(n)
+	bestCost := make([]float64, size)
+	bestLHS := make([]uint32, size)
+	card := make([]float64, size)
+	conn := make([]bool, size)
+	for s := 1; s < size; s++ {
+		set := bitset.Set(s)
+		bestCost[s] = math.Inf(1)
+		conn[s] = g.Connected(set)
+		if conn[s] {
+			card[s] = cardOf(set, cards, g)
+		}
+	}
+	for i := 0; i < n; i++ {
+		bestCost[bitset.Single(i)] = 0
+	}
+	var considered uint64
+	for si := 3; si < size; si++ {
+		s := bitset.Set(si)
+		if s.IsSingleton() || !conn[si] {
+			continue
+		}
+		out := card[si]
+		best := math.Inf(1)
+		var lhs uint32
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			if !conn[l] || !conn[r] {
+				continue
+			}
+			considered++
+			total := bestCost[l] + bestCost[r] + cost.Total(m, out, card[l], card[r])
+			if total < best {
+				best = total
+				lhs = uint32(l)
+			}
+		}
+		bestCost[si] = best
+		bestLHS[si] = lhs
+	}
+	if math.IsInf(bestCost[full], 1) {
+		return nil, ErrDisconnected
+	}
+	var build func(s bitset.Set) *plan.Node
+	build = func(s bitset.Set) *plan.Node {
+		if s.IsSingleton() {
+			return plan.Leaf(s.Min(), cards[s.Min()])
+		}
+		l := bitset.Set(bestLHS[s])
+		return &plan.Node{
+			Set:   s,
+			Card:  card[s],
+			Cost:  bestCost[s],
+			Left:  build(l),
+			Right: build(s ^ l),
+		}
+	}
+	return &Result{Plan: build(full), Cost: bestCost[full], Considered: considered}, nil
+}

@@ -1,0 +1,412 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func randomConnectedQuery(rng *rand.Rand, n int) ([]float64, *joingraph.Graph) {
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = math.Floor(1 + rng.Float64()*300)
+	}
+	edges := joingraph.RandomConnectedEdges(n, rng.Intn(n), rng.Int63())
+	g := joingraph.New(n)
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1], 0.01+0.99*rng.Float64())
+	}
+	return cards, g
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SelingerLeftDeep(nil, nil, cost.Naive{}, true); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := BushyNoCP([]float64{1, 2}, joingraph.New(3), cost.Naive{}); err == nil {
+		t.Error("mismatched graph accepted")
+	}
+	if _, err := BruteForce(make([]float64, MaxBruteForceRelations+1), nil, cost.Naive{}); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+func TestSelingerRejectsProductsWhenDisconnected(t *testing.T) {
+	// Two components: {0,1} and {2}.
+	g := joingraph.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	cards := []float64{10, 20, 30}
+	if _, err := SelingerLeftDeep(cards, g, cost.Naive{}, false); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+	// With products allowed it succeeds.
+	res, err := SelingerLeftDeep(cards, g, cost.Naive{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsLeftDeep() {
+		t.Error("plan is not left-deep")
+	}
+	// Nil graph without products is meaningless.
+	if _, err := SelingerLeftDeep(cards, nil, cost.Naive{}, false); err != ErrDisconnected {
+		t.Errorf("nil graph err = %v", err)
+	}
+}
+
+func TestBushyNoCPRejectsDisconnected(t *testing.T) {
+	g := joingraph.New(3)
+	g.MustAddEdge(0, 1, 0.5)
+	if _, err := BushyNoCP([]float64{10, 20, 30}, g, cost.Naive{}); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+	if _, err := BushyNoCP([]float64{10, 20}, nil, cost.Naive{}); err != ErrDisconnected {
+		t.Errorf("nil graph err = %v", err)
+	}
+}
+
+// TestSelingerMatchesBruteForceLeftDeep: on connected graphs where the
+// optimal left-deep plan uses no products, Selinger(allowProducts=true) must
+// match the left-deep brute-force optimum, and with products allowed must
+// never be worse than without.
+func TestSelingerLeftDeepOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		cards, g := randomConnectedQuery(rng, n)
+		m := cost.NewDiskNestedLoops()
+		withCP, err := SelingerLeftDeep(cards, g, m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noCP, err := SelingerLeftDeep(cards, g, m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withCP.Cost > noCP.Cost*(1+1e-12) {
+			t.Errorf("trial %d: products-allowed cost %v > products-excluded %v",
+				trial, withCP.Cost, noCP.Cost)
+		}
+		if !withCP.Plan.IsLeftDeep() || !noCP.Plan.IsLeftDeep() {
+			t.Errorf("trial %d: non-left-deep plan returned", trial)
+		}
+		// Independent check: exhaustive left-deep search via permutations.
+		if want := leftDeepExhaustive(cards, g, m, true); relDiff(withCP.Cost, want) > 1e-9 {
+			t.Errorf("trial %d: Selinger cost %v ≠ exhaustive %v", trial, withCP.Cost, want)
+		}
+		if err := withCP.Plan.Validate(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// leftDeepExhaustive tries every permutation of relations as a left-deep
+// vine.
+func leftDeepExhaustive(cards []float64, g *joingraph.Graph, m cost.Model, allowProducts bool) float64 {
+	n := len(cards)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var try func(k int)
+	try = func(k int) {
+		if k == n {
+			// Cost this vine.
+			set := bitset.Single(perm[0])
+			total := 0.0
+			prevCard := cards[perm[0]]
+			ok := true
+			for i := 1; i < n; i++ {
+				r := perm[i]
+				if !allowProducts && !g.Neighbors(r).Overlaps(set) {
+					ok = false
+					break
+				}
+				newSet := set.Add(r)
+				out := cardOf(newSet, cards, g)
+				total += cost.Total(m, out, prevCard, cards[r])
+				set = newSet
+				prevCard = out
+			}
+			if ok && total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			try(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	try(0)
+	return best
+}
+
+// TestBushyNoCPMatchesConnectedBruteForce: on connected graphs, BushyNoCP
+// must find the best product-free bushy plan; BruteForce (which allows
+// products) can only be equal or better.
+func TestBushyNoCPOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		cards, g := randomConnectedQuery(rng, n)
+		m := cost.SortMerge{}
+		res, err := BushyNoCP(cards, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every join node must be over a connected set (no products).
+		res.Plan.Walk(func(nd *plan.Node) {
+			if !g.Connected(nd.Set) {
+				t.Errorf("trial %d: node %v disconnected", trial, nd.Set)
+			}
+		})
+		brute, err := BruteForce(cards, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if brute.Cost > res.Cost*(1+1e-12) {
+			t.Errorf("trial %d: brute (with products) %v worse than no-CP %v",
+				trial, brute.Cost, res.Cost)
+		}
+		// And the no-CP optimum must match a brute force restricted to
+		// connected splits.
+		if want := connectedBrute(cards, g, m); relDiff(res.Cost, want) > 1e-9 {
+			t.Errorf("trial %d: BushyNoCP %v ≠ connected brute %v", trial, res.Cost, want)
+		}
+	}
+}
+
+func connectedBrute(cards []float64, g *joingraph.Graph, m cost.Model) float64 {
+	memo := map[bitset.Set]float64{}
+	var solve func(s bitset.Set) float64
+	solve = func(s bitset.Set) float64 {
+		if s.IsSingleton() {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		out := cardOf(s, cards, g)
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			if !g.Connected(l) || !g.Connected(r) {
+				continue
+			}
+			if v := solve(l) + solve(r) + cost.Total(m, out, cardOf(l, cards, g), cardOf(r, cards, g)); v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return solve(bitset.Full(len(cards)))
+}
+
+func TestBruteForceCountsPlans(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = float64(i + 2)
+		}
+		res, err := BruteForce(cards, nil, cost.Naive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Considered != CountBushyPlans(n) {
+			t.Errorf("n=%d: considered %d plans, want %d", n, res.Considered, CountBushyPlans(n))
+		}
+	}
+}
+
+func TestCountPlans(t *testing.T) {
+	cases := map[int]uint64{1: 1, 2: 2, 3: 12, 4: 120, 5: 1680}
+	for n, want := range cases {
+		if got := CountBushyPlans(n); got != want {
+			t.Errorf("CountBushyPlans(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if CountBushyPlans(0) != 0 {
+		t.Error("CountBushyPlans(0) != 0")
+	}
+	if got := CountLeftDeepPlans(5); got != 120 {
+		t.Errorf("CountLeftDeepPlans(5) = %d", got)
+	}
+	if CountLeftDeepPlans(0) != 0 {
+		t.Error("CountLeftDeepPlans(0) != 0")
+	}
+}
+
+func TestRandomPlanWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		cards, g := randomConnectedQuery(rng, maxInt(n, 2))
+		p := RandomPlan(cards, g, cost.Naive{}, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if p.Set != bitset.Full(len(cards)) {
+			t.Fatalf("trial %d: plan covers %v", trial, p.Set)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestNeighborPreservesWellFormedness: any sequence of random moves keeps
+// the tree a valid plan over the same relation set.
+func TestNeighborPreservesWellFormedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cards, g := randomConnectedQuery(rng, 7)
+	m := cost.NewDiskNestedLoops()
+	p := RandomPlan(cards, g, m, rng)
+	for i := 0; i < 200; i++ {
+		p = neighbor(p, cards, g, m, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("move %d: %v\n%s", i, err, p)
+		}
+		if p.Set != bitset.Full(7) {
+			t.Fatalf("move %d: set %v", i, p.Set)
+		}
+	}
+}
+
+// TestStochasticFindOptimumSmall: on tiny queries both stochastic searches
+// should reach the global optimum.
+func TestStochasticFindOptimumSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(3)
+		cards, g := randomConnectedQuery(rng, n)
+		m := cost.SortMerge{}
+		want, err := BruteForce(cards, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ii, err := IterativeImprovement(cards, g, m, StochasticOptions{Seed: 101, Restarts: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(ii.Cost, want.Cost) > 1e-9 {
+			t.Errorf("trial %d: II cost %v, optimum %v", trial, ii.Cost, want.Cost)
+		}
+		sa, err := SimulatedAnnealing(cards, g, m, StochasticOptions{Seed: 202})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(sa.Cost, want.Cost) > 1e-9 {
+			t.Errorf("trial %d: SA cost %v, optimum %v", trial, sa.Cost, want.Cost)
+		}
+	}
+}
+
+// TestStochasticNeverBeatOptimal: on larger queries the stochastic costs can
+// only be ≥ the exhaustive optimum (sanity for the benchmark comparisons).
+func TestStochasticNeverBeatOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cards, g := randomConnectedQuery(rng, 7)
+	m := cost.NewDiskNestedLoops()
+	want, err := BruteForce(cards, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, err := IterativeImprovement(cards, g, m, StochasticOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii.Cost < want.Cost*(1-1e-12) {
+		t.Errorf("II cost %v below optimum %v", ii.Cost, want.Cost)
+	}
+	sa, err := SimulatedAnnealing(cards, g, m, StochasticOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Cost < want.Cost*(1-1e-12) {
+		t.Errorf("SA cost %v below optimum %v", sa.Cost, want.Cost)
+	}
+}
+
+func TestStochasticDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cards, g := randomConnectedQuery(rng, 8)
+	m := cost.SortMerge{}
+	a, err := IterativeImprovement(cards, g, m, StochasticOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IterativeImprovement(cards, g, m, StochasticOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Considered != b.Considered {
+		t.Errorf("same seed, different outcome: %v/%d vs %v/%d",
+			a.Cost, a.Considered, b.Cost, b.Considered)
+	}
+}
+
+// TestSelingerConsideredCounts: the no-product join count must not exceed
+// the with-product count.
+func TestSelingerConsideredCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cards, g := randomConnectedQuery(rng, 8)
+	m := cost.Naive{}
+	withCP, err := SelingerLeftDeep(cards, g, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCP, err := SelingerLeftDeep(cards, g, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCP.Considered > withCP.Considered {
+		t.Errorf("no-CP considered %d > with-CP %d", noCP.Considered, withCP.Considered)
+	}
+	// With products: exactly Σ_{m=2..n} C(n,m)·m joins.
+	n := 8
+	var want uint64
+	for m := 2; m <= n; m++ {
+		want += uint64(binom(n, m) * m)
+	}
+	if withCP.Considered != want {
+		t.Errorf("with-CP considered %d, want %d", withCP.Considered, want)
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}

@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// MaxBruteForceRelations caps BruteForce's input size. The number of ordered
+// bushy trees over n relations is (2n−2)!/(n−1)!; beyond 9 relations the
+// enumeration is intractable (n = 9: ~5·10⁸ plans).
+const MaxBruteForceRelations = 9
+
+// BruteForce enumerates every bushy plan tree over the relations explicitly —
+// no dynamic programming, no memoization, no subproblem sharing — and returns
+// the cheapest. It is the ground-truth oracle for the optimizers in this
+// repository, feasible for n ≤ MaxBruteForceRelations. Considered counts
+// complete plans evaluated.
+//
+// Both operand orders of every join are enumerated, so the oracle remains
+// correct for asymmetric cost models.
+func BruteForce(cards []float64, g *joingraph.Graph, m cost.Model) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	n := len(cards)
+	if n > MaxBruteForceRelations {
+		return nil, fmt.Errorf("baseline: brute force supports at most %d relations, got %d",
+			MaxBruteForceRelations, n)
+	}
+	full := bitset.Full(n)
+	var considered uint64
+
+	// enumerate yields every (tree, cost) over relation set s via the
+	// callback. Cardinalities are recomputed from scratch at every node —
+	// deliberately simple-minded.
+	var enumerate func(s bitset.Set, yield func(*plan.Node, float64))
+	enumerate = func(s bitset.Set, yield func(*plan.Node, float64)) {
+		if s.IsSingleton() {
+			yield(plan.Leaf(s.Min(), cards[s.Min()]), 0)
+			return
+		}
+		out := cardOf(s, cards, g)
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			enumerate(l, func(lt *plan.Node, lc float64) {
+				enumerate(r, func(rt *plan.Node, rc float64) {
+					total := lc + rc + cost.Total(m, out, lt.Card, rt.Card)
+					yield(&plan.Node{
+						Set: s, Card: out, Cost: total, Left: lt, Right: rt,
+					}, total)
+				})
+			})
+		}
+	}
+
+	best := math.Inf(1)
+	var bestPlan *plan.Node
+	enumerate(full, func(p *plan.Node, c float64) {
+		if p.Set == full {
+			considered++
+		}
+		if p.Set == full && c < best {
+			best = c
+			bestPlan = p.Clone()
+		}
+	})
+	if bestPlan == nil {
+		return nil, fmt.Errorf("baseline: brute force found no plan")
+	}
+	return &Result{Plan: bestPlan, Cost: best, Considered: considered}, nil
+}
+
+// CountBushyPlans returns the number of ordered bushy trees over n relations,
+// (2n−2)!/(n−1)! — the size of the space BruteForce walks. Returns 0 for
+// n < 1 and panics on overflow-prone n (> 15).
+func CountBushyPlans(n int) uint64 {
+	if n < 1 {
+		return 0
+	}
+	if n > 15 {
+		panic("baseline: CountBushyPlans overflows uint64 beyond n = 15")
+	}
+	// (2n-2)! / (n-1)!
+	num := uint64(1)
+	for i := n; i <= 2*n-2; i++ {
+		num *= uint64(i)
+	}
+	return num
+}
+
+// CountLeftDeepPlans returns n!, the number of left-deep vines.
+func CountLeftDeepPlans(n int) uint64 {
+	if n < 1 {
+		return 0
+	}
+	if n > 20 {
+		panic("baseline: CountLeftDeepPlans overflows uint64 beyond n = 20")
+	}
+	f := uint64(1)
+	for i := 2; i <= n; i++ {
+		f *= uint64(i)
+	}
+	return f
+}

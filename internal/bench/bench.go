@@ -1,0 +1,439 @@
+// Package bench implements the reproduction experiments behind the paper's
+// tables and figures, shared by cmd/blitzbench. Each experiment measures
+// optimizer runs through the harness and renders a text report mirroring the
+// corresponding figure, alongside the paper's qualitative claims so shape
+// comparisons are self-contained.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/harness"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// N is the relation count for the §6 sweeps (the paper uses 15).
+	N int
+	// MaxN is the largest n for the Figure-2 sweep.
+	MaxN int
+	// Budget is the minimum cumulative wall time per measured point.
+	Budget time.Duration
+	// Progress receives per-case progress lines (nil to suppress).
+	Progress io.Writer
+	// Out receives the rendered reports.
+	Out io.Writer
+}
+
+func (c Config) n() int {
+	if c.N <= 0 {
+		return workload.DefaultN
+	}
+	return c.N
+}
+
+func (c Config) maxN() int {
+	if c.MaxN <= 0 {
+		return workload.DefaultN
+	}
+	return c.MaxN
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+// Names lists the experiment names Run accepts, in recommended order.
+func Names() []string {
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders"}
+}
+
+// Run executes the named experiment ("all" runs every one) and, when csvPath
+// is nonempty, appends raw measurements to that CSV file.
+func Run(name string, cfg Config, csvPath string) error {
+	if name == "all" {
+		for _, n := range Names() {
+			if err := Run(n, cfg, csvPath); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var ms []harness.Measurement
+	var err error
+	switch name {
+	case "table1":
+		err = Table1(cfg)
+	case "fig2":
+		ms, err = Figure2(cfg)
+	case "fig4":
+		ms, err = Figure4(cfg)
+	case "fig5":
+		ms, err = Figure5(cfg)
+	case "fig6":
+		ms, err = Figure6(cfg)
+	case "counts":
+		err = Counts(cfg)
+	case "joinvscp":
+		err = JoinVsCartesian(cfg)
+	case "ablate":
+		err = Ablations(cfg)
+	case "baselines":
+		err = Baselines(cfg)
+	case "hybrid":
+		err = Hybrid(cfg)
+	case "orders":
+		err = Orders(cfg)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
+	}
+	if err != nil {
+		return err
+	}
+	if csvPath != "" && len(ms) > 0 {
+		if err := appendCSV(csvPath, ms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendCSV(path string, ms []harness.Measurement) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() > 0 {
+		// Header already present; re-emit rows only.
+		tmp := make([]harness.Measurement, len(ms))
+		copy(tmp, ms)
+		var sb noHeaderWriter
+		if err := harness.WriteCSV(&sb, tmp); err != nil {
+			return err
+		}
+		_, err = f.Write(sb.body)
+		return err
+	}
+	return harness.WriteCSV(f, ms)
+}
+
+// noHeaderWriter drops the first line written to it.
+type noHeaderWriter struct {
+	sawHeader bool
+	body      []byte
+}
+
+func (w *noHeaderWriter) Write(p []byte) (int, error) {
+	if !w.sawHeader {
+		for i, b := range p {
+			if b == '\n' {
+				w.sawHeader = true
+				w.body = append(w.body, p[i+1:]...)
+				return len(p), nil
+			}
+		}
+		return len(p), nil
+	}
+	w.body = append(w.body, p...)
+	return len(p), nil
+}
+
+// Table1 re-derives the paper's Table 1 and prints it in the same layout.
+func Table1(cfg Config) error {
+	w := cfg.out()
+	c := workload.Table1Case()
+	res, err := core.Optimize(core.Query{Cards: c.Cards}, core.Options{})
+	if err != nil {
+		return err
+	}
+	names := []string{"A", "B", "C", "D"}
+	setName := func(s bitset.Set) string {
+		out := "{"
+		first := true
+		s.ForEach(func(i int) {
+			if !first {
+				out += ", "
+			}
+			first = false
+			out += names[i]
+		})
+		return out + "}"
+	}
+	fmt.Fprintln(w, "Table 1 — dynamic programming table for A × B × C × D (cards 10/20/30/40, κ0)")
+	fmt.Fprintf(w, "%-16s %12s %12s %12s\n", "Relation Set", "Cardinality", "Best LHS", "Cost")
+	full := bitset.Full(4)
+	var sets []bitset.Set
+	for s := bitset.Set(1); s <= full; s++ {
+		sets = append(sets, s)
+	}
+	sort.SliceStable(sets, func(i, j int) bool {
+		if sets[i].Count() != sets[j].Count() {
+			return sets[i].Count() < sets[j].Count()
+		}
+		// Lexicographic on members, matching the paper's row order
+		// ({A,B}, {A,C}, {A,D}, {B,C}, …).
+		a, b := sets[i].Members(), sets[j].Members()
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for _, s := range sets {
+		lhs := "none"
+		if l := res.Table.BestLHS(s); l != 0 {
+			lhs = setName(l)
+		}
+		fmt.Fprintf(w, "%-16s %12g %12s %12g\n", setName(s), res.Table.Card(s), lhs, res.Table.Cost(s))
+	}
+	fmt.Fprintf(w, "\noptimal expression: %s   (paper: (A ⨯ D) ⨯ (B ⨯ C), cost 241000)\n",
+		res.Plan.Expression(names))
+	return nil
+}
+
+// Figure2 measures Cartesian-product optimization time against n and fits
+// formula (3).
+func Figure2(cfg Config) ([]harness.Measurement, error) {
+	ms := harness.MeasureAll(workload.Figure2Cases(2, cfg.maxN()), cfg.Budget, cfg.Progress)
+	harness.ReportFigure2(cfg.out(), ms)
+	return ms, nil
+}
+
+// Figure4 runs the full 4-dimensional sweep (600 points at the paper's
+// resolution) and renders the 3×4 array of cells.
+func Figure4(cfg Config) ([]harness.Measurement, error) {
+	ms := harness.MeasureAll(workload.Figure4Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	harness.ReportGrid(cfg.out(),
+		"Figure 4 — optimization-time sensitivity at n=15 (paper: κ0 in 0.6–1.1 s on HP-755; "+
+			"degradation as mean card → 1; clique > star > cycle+3 ≳ chain)", ms)
+	return ms, nil
+}
+
+// Figure5 runs the two close-up cells of Figure 5.
+func Figure5(cfg Config) ([]harness.Measurement, error) {
+	ms := harness.MeasureAll(workload.Figure5Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	harness.ReportGrid(cfg.out(), "Figure 5 — close-ups: (κ0, chain) and (κdnl, cycle+3)", ms)
+	return ms, nil
+}
+
+// Figure6 runs the plan-cost-threshold experiments; multi-pass cells are the
+// paper's "ripples".
+func Figure6(cfg Config) ([]harness.Measurement, error) {
+	ms := harness.MeasureAll(workload.Figure6Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	harness.ReportGrid(cfg.out(),
+		"Figure 6 — plan-cost thresholds (paper: κ0/chain@1e9 settles to ~0.1 s on HP-755; "+
+			"κdnl thresholds show re-optimization ripples, flagged *N below)", ms)
+	return ms, nil
+}
+
+// Counts reproduces the hardware-independent §6.2 execution-count claims and
+// the §6.4 chain-polynomiality observation.
+func Counts(cfg Config) error {
+	w := cfg.out()
+	n := cfg.n()
+	var ms []harness.Measurement
+	for _, model := range cost.PaperModels() {
+		for _, topo := range joingraph.AllTopologies {
+			c := workload.AppendixCase(topo, model, 464, 0.5, n)
+			c.Name = fmt.Sprintf("counts/%s/%s", model.Name(), topo)
+			ms = append(ms, harness.Measure(c, time.Microsecond))
+		}
+	}
+	harness.ReportCounts(w, ms)
+
+	fmt.Fprintln(w, "\n§6.4 chain polynomiality — κ″ evals on chains with thresholds, rising mean cardinality")
+	fmt.Fprintf(w, "(claim: with thresholds, chain κ″ executions fall below n³/3 = %.0f as cardinality grows)\n",
+		math.Pow(float64(n), 3)/3)
+	fmt.Fprintf(w, "%12s %14s %14s %10s\n", "mean card", "κ″ no-thresh", "κ″ threshold", "passes")
+	for _, mean := range workload.MeanCardGrid() {
+		base := workload.AppendixCase(joingraph.TopoChain, cost.NewDiskNestedLoops(), mean, 0.5, n)
+		noTh := harness.Measure(base, time.Microsecond)
+		th := base
+		th.Threshold = optimalCostTimes(base, 10)
+		withTh := harness.Measure(th, time.Microsecond)
+		if noTh.Err != nil || withTh.Err != nil {
+			fmt.Fprintf(w, "%12.3g ERROR %v %v\n", mean, noTh.Err, withTh.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%12.3g %14d %14d %10d\n",
+			mean, noTh.Counters.KppEvals, withTh.Counters.KppEvals, withTh.Counters.Passes)
+	}
+	return nil
+}
+
+// optimalCostTimes returns factor × the case's optimal plan cost (a generous
+// threshold that still prunes), or 0 if optimization fails.
+func optimalCostTimes(c workload.Case, factor float64) float64 {
+	res, err := core.Optimize(core.Query{Cards: c.Cards, Graph: c.Graph},
+		core.Options{Model: c.Model})
+	if err != nil {
+		return 0
+	}
+	return res.Cost * factor
+}
+
+// JoinVsCartesian reproduces the §6.2 cross-check: under κ0, 15-way join
+// optimization lands in the same time band as 15-way Cartesian products.
+func JoinVsCartesian(cfg Config) error {
+	w := cfg.out()
+	n := cfg.n()
+	cp := harness.Measure(workload.CartesianCase(n, 10), cfg.Budget)
+	if cp.Err != nil {
+		return cp.Err
+	}
+	fmt.Fprintf(w, "§6.2 — %d-way joins vs %d-way Cartesian products under κ0\n", n, n)
+	fmt.Fprintf(w, "(paper: joins rarely fall outside 0.6–1.1 s when products take ~0.9 s, i.e. ratio ≈ 0.7–1.2)\n")
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "topology", "seconds", "ratio vs CP")
+	fmt.Fprintf(w, "%-12s %12.4f %12s\n", "(products)", cp.Seconds, "1.00")
+	for _, topo := range joingraph.AllTopologies {
+		c := workload.AppendixCase(topo, cost.Naive{}, 464, 0.5, n)
+		m := harness.Measure(c, cfg.Budget)
+		if m.Err != nil {
+			fmt.Fprintf(w, "%-12s ERROR %v\n", topo, m.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %12.4f %12.2f\n", topo, m.Seconds, m.Seconds/cp.Seconds)
+	}
+	return nil
+}
+
+// Ablations quantifies each implementation trick of §4: nested ifs, the
+// subset-successor enumeration order, plan-cost thresholds, and the
+// left-deep restriction (time and plan quality).
+func Ablations(cfg Config) error {
+	w := cfg.out()
+	n := cfg.n()
+	c := workload.AppendixCase(joingraph.TopoCyclePlus3, cost.NewDiskNestedLoops(), 464, 0.5, n)
+	q := core.Query{Cards: c.Cards, Graph: c.Graph}
+
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	variants := []variant{
+		{"default (bushy, nested-ifs, asc)", core.Options{Model: c.Model}},
+		{"no nested ifs", core.Options{Model: c.Model, DisableNestedIfs: true}},
+		{"descending enumerator", core.Options{Model: c.Model, DescendingSubsets: true}},
+		{"threshold 10×optimum", core.Options{Model: c.Model, CostThreshold: optimalCostTimes(c, 10)}},
+		{"left-deep", core.Options{Model: c.Model, LeftDeep: true}},
+	}
+	fmt.Fprintf(w, "Ablations on (κdnl, cycle+3, mean=464, var=0.5, n=%d)\n", n)
+	fmt.Fprintf(w, "%-36s %10s %14s %14s %12s\n", "variant", "seconds", "loop iters", "κ″ evals", "plan cost")
+	var baseCost float64
+	for i, v := range variants {
+		start := time.Now()
+		runs := 0
+		var res *core.Result
+		var err error
+		for time.Since(start) < cfg.Budget || runs == 0 {
+			res, err = core.Optimize(q, v.opts)
+			runs++
+			if err != nil {
+				return err
+			}
+		}
+		secs := time.Since(start).Seconds() / float64(runs)
+		if i == 0 {
+			baseCost = res.Cost
+		}
+		costNote := fmt.Sprintf("%.4g", res.Cost)
+		if res.Cost > baseCost*(1+1e-9) {
+			costNote += fmt.Sprintf(" (+%.1f%%)", (res.Cost/baseCost-1)*100)
+		}
+		fmt.Fprintf(w, "%-36s %10.4f %14d %14d %12s\n",
+			v.name, secs, res.Counters.LoopIters, res.Counters.KppEvals, costNote)
+	}
+	return nil
+}
+
+// Baselines compares blitzsplit against the §2 alternatives on Appendix
+// queries: optimization time and plan quality.
+func Baselines(cfg Config) error {
+	w := cfg.out()
+	n := cfg.n()
+	if n > 14 {
+		// Keep the exhaustive baselines affordable on one core.
+		n = 14
+	}
+	c := workload.AppendixCase(joingraph.TopoCyclePlus3, cost.NewDiskNestedLoops(), 464, 0.5, n)
+	q := core.Query{Cards: c.Cards, Graph: c.Graph}
+	fmt.Fprintf(w, "Baselines on (κdnl, cycle+3, mean=464, var=0.5, n=%d)\n", n)
+	fmt.Fprintf(w, "%-34s %12s %14s %12s\n", "optimizer", "seconds", "states/plans", "plan cost")
+
+	timeIt := func(name string, f func() (float64, uint64, error)) {
+		start := time.Now()
+		costv, considered, err := f()
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(w, "%-34s ERROR %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(w, "%-34s %12.4f %14d %12.4g\n", name, secs, considered, costv)
+	}
+
+	timeIt("blitzsplit (bushy, with CP)", func() (float64, uint64, error) {
+		r, err := core.Optimize(q, core.Options{Model: c.Model})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Counters.LoopIters, nil
+	})
+	timeIt("blitzsplit (left-deep, with CP)", func() (float64, uint64, error) {
+		r, err := core.Optimize(q, core.Options{Model: c.Model, LeftDeep: true})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Counters.LoopIters, nil
+	})
+	timeIt("Selinger left-deep (no CP)", func() (float64, uint64, error) {
+		r, err := baseline.SelingerLeftDeep(c.Cards, c.Graph, c.Model, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Considered, nil
+	})
+	timeIt("bushy DP (no CP, Ono–Lohman)", func() (float64, uint64, error) {
+		r, err := baseline.BushyNoCP(c.Cards, c.Graph, c.Model)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Considered, nil
+	})
+	timeIt("iterative improvement", func() (float64, uint64, error) {
+		r, err := baseline.IterativeImprovement(c.Cards, c.Graph, c.Model,
+			baseline.StochasticOptions{Seed: 1})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Considered, nil
+	})
+	timeIt("simulated annealing", func() (float64, uint64, error) {
+		r, err := baseline.SimulatedAnnealing(c.Cards, c.Graph, c.Model,
+			baseline.StochasticOptions{Seed: 1})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Cost, r.Considered, nil
+	})
+	return nil
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/hybrid"
+	"blitzsplit/internal/joingraph"
+)
+
+// Hybrid evaluates the §7 future-work direction: exhaustive blitzsplit vs
+// greedy operator ordering vs iterative DP (block size 8) vs the
+// DP+local-search hybrid, on chain queries from n = 12 up past exhaustive
+// comfort. Reports wall time per method and each method's plan cost relative
+// to the best plan found by any method at that n.
+func Hybrid(cfg Config) error {
+	w := cfg.out()
+	mdl := cost.NewDiskNestedLoops()
+	fmt.Fprintln(w, "Beyond exhaustive reach — exact vs greedy vs IDP(8) vs ChainedLocal (κdnl, chains)")
+	fmt.Fprintf(w, "%4s %12s %12s %12s %12s  %s\n",
+		"n", "exact", "greedy", "IDP(8)", "chained", "cost ratio vs best")
+	sizes := []int{12, 15, 18, 21, 24}
+	if cfg.N > 0 && cfg.N < 12 {
+		// Scaled-down run (tests, quick looks).
+		sizes = []int{cfg.N, cfg.N + 2}
+	}
+	for _, n := range sizes {
+		cards := joingraph.CardinalityLadder(n, 464, 0.5)
+		g := joingraph.Build(joingraph.AppendixChainEdges(n), cards)
+
+		type outcome struct {
+			secs float64
+			cost float64
+			ok   bool
+		}
+		res := map[string]outcome{}
+		timeIt := func(name string, f func() (float64, error)) {
+			start := time.Now()
+			c, err := f()
+			if err != nil {
+				return
+			}
+			res[name] = outcome{secs: time.Since(start).Seconds(), cost: c, ok: true}
+		}
+		if n <= 16 { // exhaustive stays comfortable through the mid-teens (§2)
+			timeIt("exact", func() (float64, error) {
+				r, err := core.Optimize(core.Query{Cards: cards, Graph: g}, core.Options{Model: mdl})
+				if err != nil {
+					return 0, err
+				}
+				return r.Cost, nil
+			})
+		}
+		timeIt("greedy", func() (float64, error) {
+			r, err := hybrid.Greedy(cards, g, mdl)
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost, nil
+		})
+		timeIt("idp", func() (float64, error) {
+			r, err := hybrid.IDP(cards, g, mdl, hybrid.IDPOptions{K: 8})
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost, nil
+		})
+		timeIt("chained", func() (float64, error) {
+			r, err := hybrid.ChainedLocal(cards, g, mdl, hybrid.IDPOptions{
+				K: 8, Stochastic: baseline.StochasticOptions{Seed: 1},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost, nil
+		})
+
+		best := math.Inf(1)
+		for _, o := range res {
+			if o.ok && o.cost < best {
+				best = o.cost
+			}
+		}
+		cell := func(name string) string {
+			o, ok := res[name]
+			if !ok || !o.ok {
+				return "-"
+			}
+			return fmt.Sprintf("%.4fs", o.secs)
+		}
+		ratios := ""
+		for _, name := range []string{"exact", "greedy", "idp", "chained"} {
+			if o, ok := res[name]; ok && o.ok {
+				ratios += fmt.Sprintf("%s=%.2f ", name, o.cost/best)
+			}
+		}
+		fmt.Fprintf(w, "%4d %12s %12s %12s %12s  %s\n",
+			n, cell("exact"), cell("greedy"), cell("idp"), cell("chained"), ratios)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package catalog holds the base-relation metadata the optimizer consumes:
+// names, cardinalities, tuple widths and blocking factors. It corresponds to
+// the paper's rel_data array (§3.2) — the abstract interpretation of each base
+// relation that cost models need — extended with the physical attributes that
+// the disk-nested-loops model of the Appendix can optionally derive blocking
+// factors from.
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"blitzsplit/internal/bitset"
+)
+
+// Relation describes one base relation.
+type Relation struct {
+	// Name is a human-readable identifier, unique within a Catalog.
+	Name string `json:"name"`
+	// Cardinality is the (estimated) number of tuples. The paper holds these
+	// in a wide-dynamic-range float (§4.1 footnote 2); so do we.
+	Cardinality float64 `json:"cardinality"`
+	// Width is the tuple width in bytes. Zero means unknown; cost models that
+	// need a width fall back to DefaultWidth.
+	Width int `json:"width,omitempty"`
+}
+
+// DefaultWidth is the tuple width assumed when a Relation does not declare one.
+const DefaultWidth = 100
+
+// Catalog is an ordered collection of relations. The position of a relation
+// in the catalog is its index in the optimizer's bitsets, and — following
+// §5.3 — the catalog order is the arbitrary-but-fixed total order on relation
+// names that the fan recurrence depends on.
+type Catalog struct {
+	rels   []Relation
+	byName map[string]int
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{byName: make(map[string]int)}
+}
+
+// FromRelations builds a catalog from a relation list, preserving order.
+func FromRelations(rels []Relation) (*Catalog, error) {
+	c := New()
+	for _, r := range rels {
+		if _, err := c.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MustFromCardinalities builds a catalog of relations named R0, R1, … with the
+// given cardinalities. It panics on invalid input; intended for tests,
+// examples and generated workloads.
+func MustFromCardinalities(cards ...float64) *Catalog {
+	c := New()
+	for i, card := range cards {
+		if _, err := c.Add(Relation{Name: fmt.Sprintf("R%d", i), Cardinality: card}); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// Add appends a relation and returns its index.
+func (c *Catalog) Add(r Relation) (int, error) {
+	if r.Name == "" {
+		return 0, errors.New("catalog: relation name must be nonempty")
+	}
+	if _, dup := c.byName[r.Name]; dup {
+		return 0, fmt.Errorf("catalog: duplicate relation %q", r.Name)
+	}
+	if r.Cardinality < 0 || math.IsNaN(r.Cardinality) || math.IsInf(r.Cardinality, 0) {
+		return 0, fmt.Errorf("catalog: relation %q has invalid cardinality %v", r.Name, r.Cardinality)
+	}
+	if r.Width < 0 {
+		return 0, fmt.Errorf("catalog: relation %q has negative width %d", r.Name, r.Width)
+	}
+	if len(c.rels) >= bitset.MaxRelations {
+		return 0, fmt.Errorf("catalog: at most %d relations are supported", bitset.MaxRelations)
+	}
+	idx := len(c.rels)
+	c.rels = append(c.rels, r)
+	c.byName[r.Name] = idx
+	return idx, nil
+}
+
+// Len returns the number of relations.
+func (c *Catalog) Len() int { return len(c.rels) }
+
+// Relation returns the relation at index i.
+func (c *Catalog) Relation(i int) Relation { return c.rels[i] }
+
+// Cardinality returns the cardinality of relation i.
+func (c *Catalog) Cardinality(i int) float64 { return c.rels[i].Cardinality }
+
+// WidthOrDefault returns relation i's width, or DefaultWidth if unset.
+func (c *Catalog) WidthOrDefault(i int) int {
+	if w := c.rels[i].Width; w > 0 {
+		return w
+	}
+	return DefaultWidth
+}
+
+// Index returns the index of the named relation.
+func (c *Catalog) Index(name string) (int, bool) {
+	i, ok := c.byName[name]
+	return i, ok
+}
+
+// Names returns the relation names in catalog order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.rels))
+	for i, r := range c.rels {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Cardinalities returns the cardinalities in catalog order.
+func (c *Catalog) Cardinalities() []float64 {
+	out := make([]float64, len(c.rels))
+	for i, r := range c.rels {
+		out[i] = r.Cardinality
+	}
+	return out
+}
+
+// All returns the full set {0, …, Len-1}.
+func (c *Catalog) All() bitset.Set { return bitset.Full(len(c.rels)) }
+
+// GeometricMeanCardinality returns (∏ |Ri|)^(1/n), the statistic the paper's
+// evaluation identifies as the primary cardinality determinant of
+// optimization time (§6.1). Returns 0 for an empty catalog and 0 if any
+// cardinality is 0.
+func (c *Catalog) GeometricMeanCardinality() float64 {
+	if len(c.rels) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range c.rels {
+		if r.Cardinality == 0 {
+			return 0
+		}
+		sum += math.Log(r.Cardinality)
+	}
+	return math.Exp(sum / float64(len(c.rels)))
+}
+
+// SortedByCardinality returns relation indexes ordered by ascending
+// cardinality (stable on ties). The Appendix labels relations so that R0 has
+// the lowest cardinality; this helper recovers that ordering for catalogs
+// built in a different order.
+func (c *Catalog) SortedByCardinality() []int {
+	idx := make([]int, len(c.rels))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return c.rels[idx[a]].Cardinality < c.rels[idx[b]].Cardinality
+	})
+	return idx
+}
+
+// MarshalJSON encodes the catalog as a JSON array of relations.
+func (c *Catalog) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.rels)
+}
+
+// UnmarshalJSON decodes a JSON array of relations, validating as it goes.
+func (c *Catalog) UnmarshalJSON(data []byte) error {
+	var rels []Relation
+	if err := json.Unmarshal(data, &rels); err != nil {
+		return err
+	}
+	fresh, err := FromRelations(rels)
+	if err != nil {
+		return err
+	}
+	*c = *fresh
+	return nil
+}
+
+// WriteJSON writes the catalog to w as indented JSON.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON reads a catalog from r.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	c := New()
+	if err := json.NewDecoder(r).Decode(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	c := New()
+	i, err := c.Add(Relation{Name: "orders", Cardinality: 1e6, Width: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 0 {
+		t.Errorf("first index = %d, want 0", i)
+	}
+	j, err := c.Add(Relation{Name: "lineitem", Cardinality: 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("second index = %d, want 1", j)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if idx, ok := c.Index("orders"); !ok || idx != 0 {
+		t.Errorf("Index(orders) = %d,%v", idx, ok)
+	}
+	if _, ok := c.Index("nope"); ok {
+		t.Error("Index(nope) should miss")
+	}
+	if got := c.Cardinality(1); got != 6e6 {
+		t.Errorf("Cardinality(1) = %v", got)
+	}
+	if got := c.Relation(0).Name; got != "orders" {
+		t.Errorf("Relation(0).Name = %q", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	cases := []Relation{
+		{Name: "", Cardinality: 10},
+		{Name: "neg", Cardinality: -1},
+		{Name: "nan", Cardinality: math.NaN()},
+		{Name: "inf", Cardinality: math.Inf(1)},
+		{Name: "w", Cardinality: 1, Width: -3},
+	}
+	for _, r := range cases {
+		c := New()
+		if _, err := c.Add(r); err == nil {
+			t.Errorf("Add(%+v) succeeded, want error", r)
+		}
+	}
+	c := New()
+	if _, err := c.Add(Relation{Name: "dup", Cardinality: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(Relation{Name: "dup", Cardinality: 2}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestAddCapacityLimit(t *testing.T) {
+	c := New()
+	for i := 0; i < bitset.MaxRelations; i++ {
+		if _, err := c.Add(Relation{Name: names(i), Cardinality: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Add(Relation{Name: "overflow", Cardinality: 1}); err == nil {
+		t.Error("exceeding MaxRelations accepted")
+	}
+}
+
+func names(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestMustFromCardinalities(t *testing.T) {
+	c := MustFromCardinalities(10, 20, 30, 40)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Names(); got[0] != "R0" || got[3] != "R3" {
+		t.Errorf("Names = %v", got)
+	}
+	cards := c.Cardinalities()
+	if cards[2] != 30 {
+		t.Errorf("Cardinalities = %v", cards)
+	}
+	if c.All() != bitset.Full(4) {
+		t.Errorf("All = %v", c.All())
+	}
+}
+
+func TestWidthOrDefault(t *testing.T) {
+	c := New()
+	c.Add(Relation{Name: "a", Cardinality: 1})
+	c.Add(Relation{Name: "b", Cardinality: 1, Width: 8})
+	if got := c.WidthOrDefault(0); got != DefaultWidth {
+		t.Errorf("default width = %d", got)
+	}
+	if got := c.WidthOrDefault(1); got != 8 {
+		t.Errorf("explicit width = %d", got)
+	}
+}
+
+func TestGeometricMeanCardinality(t *testing.T) {
+	c := MustFromCardinalities(10, 1000)
+	if got := c.GeometricMeanCardinality(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("geo mean = %v, want 100", got)
+	}
+	if got := New().GeometricMeanCardinality(); got != 0 {
+		t.Errorf("empty geo mean = %v", got)
+	}
+	if got := MustFromCardinalities(0, 100).GeometricMeanCardinality(); got != 0 {
+		t.Errorf("zero-card geo mean = %v", got)
+	}
+}
+
+func TestSortedByCardinality(t *testing.T) {
+	c := MustFromCardinalities(30, 10, 20)
+	order := c.SortedByCardinality()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Add(Relation{Name: "a", Cardinality: 12.5, Width: 40})
+	c.Add(Relation{Name: "b", Cardinality: 7})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Relation(0).Width != 40 || got.Cardinality(1) != 7 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if idx, ok := got.Index("b"); !ok || idx != 1 {
+		t.Error("round trip lost name index")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	for _, body := range []string{
+		`[{"name":"","cardinality":1}]`,
+		`[{"name":"x","cardinality":-2}]`,
+		`[{"name":"x","cardinality":1},{"name":"x","cardinality":2}]`,
+		`{"not":"an array"}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("ReadJSON(%s) succeeded, want error", body)
+		}
+	}
+}
+
+func TestFromRelations(t *testing.T) {
+	c, err := FromRelations([]Relation{{Name: "x", Cardinality: 3}, {Name: "y", Cardinality: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if _, err := FromRelations([]Relation{{Name: "", Cardinality: 3}}); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}

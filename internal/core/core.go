@@ -1,0 +1,246 @@
+// Package core implements Algorithm blitzsplit (Vance & Maier, SIGMOD 1996):
+// exhaustive, dynamic-programming join-order optimization over the complete
+// space of bushy plans, Cartesian products included, with the lightweight
+// implementation techniques of §4 — integer-bitset relation sets, numeric
+// table fill order, the two's-complement split successor, κ′/κ″ cost
+// decomposition with nested-if pruning — and the extensions of §5 (the fan
+// recurrence for predicate selectivities) and §6.4 (plan-cost thresholds
+// with re-optimization passes).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// Query is a join-order optimization problem: base-relation cardinalities
+// plus an optional join graph. A nil Graph means no predicates — the pure
+// Cartesian-product optimization of §3.
+type Query struct {
+	// Cards holds the base-relation cardinalities; Cards[i] is |Ri|.
+	Cards []float64
+	// Graph carries the join predicates and selectivities; nil for a pure
+	// Cartesian product.
+	Graph *joingraph.Graph
+	// Estimator, when non-nil, replaces the binary-graph fan recurrence with
+	// a custom per-subset cardinality step (§5.4's "more sophisticated
+	// cardinality-estimation schemes": join hypergraphs, implied-predicate
+	// equivalence classes, …). It is mutually exclusive with Graph. The
+	// estimator is consulted exactly 2^n − n − 1 times — once per
+	// non-singleton subset — preserving the O(2^n) property-computation
+	// budget; find_best_split is untouched, as §5.4 requires.
+	Estimator CardEstimator
+}
+
+// CardEstimator supplies the multiplicative factor of the §5.2 cardinality
+// recurrence for arbitrary predicate structures:
+//
+//	card(S) = card(U) · card(V) · StepFactor(S)
+//
+// where U = {min S} and V = S − U. For a binary join graph the factor is
+// Π_fan(S); implementations generalize it to hyperedges or column
+// equivalence classes. StepFactor must be deterministic and nonnegative.
+type CardEstimator interface {
+	StepFactor(s bitset.Set) float64
+}
+
+// NumRelations returns the number of base relations.
+func (q Query) NumRelations() int { return len(q.Cards) }
+
+// Validate checks the query is well-formed.
+func (q Query) Validate() error {
+	n := len(q.Cards)
+	if n == 0 {
+		return errors.New("core: query has no relations")
+	}
+	if n > bitset.MaxRelations {
+		return fmt.Errorf("core: %d relations exceeds the maximum %d", n, bitset.MaxRelations)
+	}
+	for i, c := range q.Cards {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("core: relation %d has invalid cardinality %v", i, c)
+		}
+	}
+	if q.Graph != nil && q.Graph.N() != n {
+		return fmt.Errorf("core: join graph covers %d relations, query has %d", q.Graph.N(), n)
+	}
+	if q.Graph != nil && q.Estimator != nil {
+		return errors.New("core: Graph and Estimator are mutually exclusive")
+	}
+	return nil
+}
+
+// Options configures a blitzsplit run. The zero value is a sensible default:
+// naive cost model, bushy search, no plan-cost threshold, overflow limit at
+// the single-precision maximum (mirroring the paper's float32 cost
+// representation, §6.3).
+type Options struct {
+	// Model is the cost model; nil means cost.Naive{}.
+	Model cost.Model
+	// LeftDeep restricts the search to left-deep vines (the comparison space
+	// of §6.2). Cartesian products remain allowed.
+	LeftDeep bool
+	// CostThreshold enables §6.4 plan-cost-threshold pruning when > 0: any
+	// relation set whose split-independent cost already exceeds the threshold
+	// has its best-split search skipped wholesale, and any plan costlier than
+	// the threshold is rejected. If optimization fails at the current
+	// threshold, it is retried with the threshold multiplied by
+	// ThresholdGrowth, up to MaxPasses passes. 0 disables thresholding.
+	CostThreshold float64
+	// ThresholdGrowth is the per-pass threshold multiplier; values ≤ 1 mean
+	// the default ×1000.
+	ThresholdGrowth float64
+	// MaxPasses bounds the number of threshold passes; ≤ 0 means 10. The
+	// final allowed pass runs with the threshold removed (clamped to the
+	// overflow limit), so MaxPasses never causes a spurious failure.
+	MaxPasses int
+	// OverflowLimit is the cost above which plans are summarily rejected,
+	// simulating the paper's single-precision overflow; ≤ 0 means
+	// math.MaxFloat32.
+	OverflowLimit float64
+	// DisableNestedIfs makes the split loop evaluate κ″ unconditionally
+	// (ablating the §4.2 optimization; for benchmarks).
+	DisableNestedIfs bool
+	// DescendingSubsets switches the split enumerator from the paper's
+	// succ(L) = S & (L−S) to the classic descending (L−1) & S (ablation).
+	DescendingSubsets bool
+}
+
+func (o Options) model() cost.Model {
+	if o.Model == nil {
+		return cost.Naive{}
+	}
+	return o.Model
+}
+
+func (o Options) overflowLimit() float64 {
+	if o.OverflowLimit <= 0 {
+		return math.MaxFloat32
+	}
+	return o.OverflowLimit
+}
+
+func (o Options) thresholdGrowth() float64 {
+	if o.ThresholdGrowth <= 1 {
+		return 1000
+	}
+	return o.ThresholdGrowth
+}
+
+func (o Options) maxPasses() int {
+	if o.MaxPasses <= 0 {
+		return 10
+	}
+	return o.MaxPasses
+}
+
+// Counters instruments the algorithm with the operation counts §3.3 and §6
+// analyze. They are hardware-independent and are the primary reproduction
+// target for the paper's complexity claims.
+type Counters struct {
+	// SubsetsVisited counts invocations of the per-set work
+	// (compute_properties + find_best_split): one per non-singleton subset
+	// per pass, ≈ 2^n.
+	SubsetsVisited uint64
+	// LoopIters counts split-loop iterations across all sets: ≈ 3^n for
+	// bushy search (§3.3), ≈ (n/2)·2^n for left-deep.
+	LoopIters uint64
+	// KppEvals counts evaluations of the split-dependent cost κ″; with
+	// nested ifs it falls between (ln2/2)·n·2^n and 3^n (§6.2).
+	KppEvals uint64
+	// KpEvals counts evaluations of the split-independent cost κ′: at most
+	// one per set per pass (§6.2: "fixed execution count of just 2^n").
+	KpEvals uint64
+	// CondHits counts executions of the conditional improves-best block; the
+	// §3.3 statistical argument predicts ≈ (ln2/2)·n·2^n in aggregate.
+	CondHits uint64
+	// ThresholdSkips counts sets whose best-split search was skipped because
+	// κ′ already exceeded the active threshold or overflow limit (§6.3–6.4).
+	ThresholdSkips uint64
+	// Passes is the number of optimization passes run (> 1 only when a
+	// plan-cost threshold forced re-optimization, §6.4).
+	Passes int
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.SubsetsVisited += other.SubsetsVisited
+	c.LoopIters += other.LoopIters
+	c.KppEvals += other.KppEvals
+	c.KpEvals += other.KpEvals
+	c.CondHits += other.CondHits
+	c.ThresholdSkips += other.ThresholdSkips
+	c.Passes += other.Passes
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// Plan is the optimal join tree.
+	Plan *plan.Node
+	// Cost is the estimated cost of Plan under the run's cost model.
+	Cost float64
+	// Cardinality is the estimated result cardinality of the full join.
+	Cardinality float64
+	// Counters holds the instrumentation accumulated over all passes.
+	Counters Counters
+	// Table is the filled dynamic-programming table, retained for
+	// inspection (Table 1 reproduction, debugging, tests). It reflects the
+	// final (successful) pass.
+	Table *Table
+}
+
+// ErrNoPlan is returned when no plan exists within the overflow limit even
+// on the final unthresholded pass.
+var ErrNoPlan = errors.New("core: no plan within the overflow cost limit")
+
+// Optimize runs Algorithm blitzsplit on the query.
+func Optimize(q Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Cards)
+	t := NewTable(n, q.Graph != nil, opts.model())
+	t.InitProperties(q)
+
+	var total Counters
+	limit := opts.overflowLimit()
+	threshold := limit
+	if opts.CostThreshold > 0 && opts.CostThreshold < limit {
+		threshold = opts.CostThreshold
+	}
+	maxPasses := opts.maxPasses()
+	for pass := 1; ; pass++ {
+		if pass == maxPasses && threshold < limit {
+			threshold = limit // last chance: drop the artificial threshold
+		}
+		c := t.FillCosts(q, opts, threshold)
+		total.Add(c)
+		total.Passes = pass
+		if t.Cost(t.full) < math.Inf(1) {
+			break
+		}
+		if threshold >= limit {
+			return nil, ErrNoPlan
+		}
+		threshold *= opts.thresholdGrowth()
+		if threshold > limit {
+			threshold = limit
+		}
+	}
+
+	root := t.ExtractPlan(t.full)
+	res := &Result{
+		Plan:        root,
+		Cost:        t.Cost(t.full),
+		Cardinality: t.Card(t.full),
+		Counters:    total,
+		Table:       t,
+	}
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/schema"
+)
+
+// TestEstimatorMutuallyExclusiveWithGraph: supplying both is rejected.
+func TestEstimatorMutuallyExclusiveWithGraph(t *testing.T) {
+	g := joingraph.New(2)
+	g.MustAddEdge(0, 1, 0.5)
+	h := joingraph.Binary(g)
+	q := Query{Cards: []float64{10, 10}, Graph: g, Estimator: h}
+	if _, err := Optimize(q, Options{}); err == nil {
+		t.Error("Graph+Estimator accepted")
+	}
+}
+
+// TestHypergraphEstimatorMatchesBinaryGraph: for binary predicates, the
+// hypergraph estimator path and the fan-recurrence path must agree on every
+// table entry and produce the same optimum.
+func TestHypergraphEstimatorMatchesBinaryGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(7)
+		q := randomQuery(rng, n, 0.5)
+		hq := Query{Cards: q.Cards, Estimator: joingraph.Binary(q.Graph)}
+		for _, m := range []cost.Model{cost.Naive{}, cost.NewDiskNestedLoops()} {
+			a, err := Optimize(q, Options{Model: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Optimize(hq, Options{Model: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relDiff(a.Cost, b.Cost) > 1e-9 {
+				t.Errorf("trial %d %s: graph %v ≠ hypergraph %v", trial, m.Name(), a.Cost, b.Cost)
+			}
+			full := bitset.Full(n)
+			for s := bitset.Set(1); s <= full; s++ {
+				if !s.SubsetOf(full) || s.IsEmpty() {
+					continue
+				}
+				if relDiff(a.Table.Card(s), b.Table.Card(s)) > 1e-9 {
+					t.Fatalf("trial %d: card(%v) differs: %v vs %v",
+						trial, s, a.Table.Card(s), b.Table.Card(s))
+				}
+			}
+		}
+	}
+}
+
+// TestTernaryHyperedgeOptimization: a genuine 3-relation predicate. The
+// predicate only fires once all three relations are joined, so every
+// 2-relation intermediate is a Cartesian product; the optimizer must pick
+// the cheapest product pair first.
+func TestTernaryHyperedgeOptimization(t *testing.T) {
+	h := joingraph.NewHypergraph(3)
+	h.MustAddEdge(bitset.Of(0, 1, 2), 1e-6)
+	q := Query{Cards: []float64{100, 20, 50}, Estimator: h}
+	res, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result cardinality: 100·20·50·1e-6 = 0.1.
+	if relDiff(res.Cardinality, 0.1) > 1e-9 {
+		t.Errorf("cardinality = %v, want 0.1", res.Cardinality)
+	}
+	// Under κ0 the best first product is the smallest pair {R1,R2} (1000).
+	if lhs := res.Table.BestLHS(bitset.Full(3)); lhs != bitset.Of(1, 2) && lhs != bitset.Of(0) {
+		t.Errorf("best split = %v, want {R1,R2} vs {R0}", lhs)
+	}
+	if relDiff(res.Cost, 1000+0.1) > 1e-9 {
+		t.Errorf("cost = %v, want 1000.1", res.Cost)
+	}
+}
+
+// TestHypergraphOptimalityAgainstBruteForce: the estimator path stays
+// optimal under an independent recursion that uses the hypergraph's
+// reference cardinalities.
+func TestHypergraphOptimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		h := joingraph.NewHypergraph(n)
+		for e := 0; e < 1+rng.Intn(n); e++ {
+			var rels bitset.Set
+			k := 2 + rng.Intn(3)
+			for rels.Count() < k && rels.Count() < n {
+				rels = rels.Add(rng.Intn(n))
+			}
+			if rels.Count() >= 2 {
+				h.MustAddEdge(rels, 0.05+0.95*rng.Float64())
+			}
+		}
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = math.Floor(1 + rng.Float64()*200)
+		}
+		m := cost.SortMerge{}
+		res, err := Optimize(Query{Cards: cards, Estimator: h}, Options{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := hyperBrute(cards, h, m)
+		if relDiff(res.Cost, want) > 1e-9 {
+			t.Errorf("trial %d: cost %v, brute %v", trial, res.Cost, want)
+		}
+	}
+}
+
+func hyperBrute(cards []float64, h *joingraph.Hypergraph, m cost.Model) float64 {
+	memo := map[bitset.Set]float64{}
+	var solve func(s bitset.Set) float64
+	solve = func(s bitset.Set) float64 {
+		if s.IsSingleton() {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		out := h.JoinCardinality(s, cards)
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			v := solve(l) + solve(r) +
+				cost.Total(m, out, h.JoinCardinality(l, cards), h.JoinCardinality(r, cards))
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return solve(bitset.Full(len(cards)))
+}
+
+// TestSchemaEstimatorThroughOptimizer: the implied-predicate schema drives
+// the optimizer; its table cardinalities must equal the schema's reference
+// values for every subset, and a redundant predicate must not change the
+// optimum.
+func TestSchemaEstimatorThroughOptimizer(t *testing.T) {
+	build := func(extra bool) *schema.Schema {
+		s := schema.New(4)
+		s.MustAddColumn(0, "k", 100)
+		s.MustAddColumn(1, "k", 40)
+		s.MustAddColumn(2, "k", 400)
+		s.MustAddColumn(3, "x", 10)
+		s.MustAddColumn(0, "x", 10)
+		s.MustEquate(0, "k", 1, "k")
+		s.MustEquate(1, "k", 2, "k")
+		s.MustEquate(0, "x", 3, "x")
+		if extra {
+			s.MustEquate(0, "k", 2, "k") // redundant
+		}
+		return s
+	}
+	cards := []float64{1000, 400, 8000, 50}
+	a, err := Optimize(Query{Cards: cards, Estimator: build(false)},
+		Options{Model: cost.NewDiskNestedLoops()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(Query{Cards: cards, Estimator: build(true)},
+		Options{Model: cost.NewDiskNestedLoops()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(a.Cost, b.Cost) > 1e-9 {
+		t.Errorf("redundant predicate changed the optimum: %v vs %v", a.Cost, b.Cost)
+	}
+	sch := build(false)
+	full := bitset.Full(4)
+	for s := bitset.Set(1); s <= full; s++ {
+		if !s.SubsetOf(full) || s.IsEmpty() {
+			continue
+		}
+		want := sch.JoinCardinality(s, cards)
+		if relDiff(a.Table.Card(s), want) > 1e-9 {
+			t.Errorf("card(%v) = %v, want %v", s, a.Table.Card(s), want)
+		}
+	}
+	if err := a.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}

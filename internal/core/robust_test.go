@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"blitzsplit/internal/cost"
+)
+
+// hostileModel returns NaN or negative values on specific cardinalities,
+// simulating a buggy user-supplied cost model. The optimizer must not panic
+// and must never report a NaN optimum.
+type hostileModel struct {
+	nanAbove float64
+}
+
+func (hostileModel) Name() string { return "hostile" }
+
+func (m hostileModel) SplitIndep(out float64) float64 {
+	if out > m.nanAbove {
+		return math.NaN()
+	}
+	return out
+}
+
+func (m hostileModel) SplitDep(out, l, r float64) float64 {
+	if l > m.nanAbove || r > m.nanAbove {
+		return math.NaN()
+	}
+	return 0
+}
+
+// TestHostileCostModelNaN: sets whose κ′ is NaN are skipped like overflow;
+// if that kills every plan, ErrNoPlan comes back rather than a NaN result.
+func TestHostileCostModelNaN(t *testing.T) {
+	// Small cards: NaN never triggers; behaves like naive.
+	q := Query{Cards: []float64{2, 3, 4}}
+	res, err := Optimize(q, Options{Model: hostileModel{nanAbove: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Cost) {
+		t.Fatal("NaN cost reported")
+	}
+	// NaN on everything above 10: the full product (24) always trips it.
+	_, err = Optimize(q, Options{Model: hostileModel{nanAbove: 10}})
+	if err != ErrNoPlan {
+		t.Fatalf("err = %v, want ErrNoPlan", err)
+	}
+}
+
+// TestZeroCardinalityRelations: empty relations give zero-cost plans without
+// NaN/negative artifacts under every model.
+func TestZeroCardinalityRelations(t *testing.T) {
+	q := Query{Cards: []float64{0, 10, 0, 5}}
+	for _, m := range []cost.Model{cost.Naive{}, cost.SortMerge{}, cost.NewDiskNestedLoops(),
+		cost.NewHashJoin(), cost.NewMin(cost.SortMerge{}, cost.NewDiskNestedLoops())} {
+		res, err := Optimize(q, Options{Model: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.IsNaN(res.Cost) || res.Cost < 0 {
+			t.Errorf("%s: cost = %v", m.Name(), res.Cost)
+		}
+		if res.Cardinality != 0 {
+			t.Errorf("%s: cardinality = %v, want 0", m.Name(), res.Cardinality)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestCardinalityOneEverywhere: the treacherous corner of Figure 4 — every
+// plan costs the same; the optimizer must still terminate with a valid plan
+// and exercise the full 3^n loop (no pruning possible).
+func TestCardinalityOneEverywhere(t *testing.T) {
+	n := 10
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = 1
+	}
+	res, err := Optimize(Query{Cards: cards}, Options{Model: cost.SortMerge{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All intermediate cardinalities are 1; with κsm's sub-1 clamp each join
+	// costs 2, so any plan costs 2(n−1).
+	if want := 2.0 * float64(n-1); math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", res.Cost, want)
+	}
+}

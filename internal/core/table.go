@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/plan"
+)
+
+// Table is the blitzsplit dynamic-programming table: one entry per nonempty
+// subset of the relation set, indexed by the subset's integer value (§4.1).
+// Properties (cardinality, fan product, cost-model memo) are filled once per
+// query; costs and best splits are filled once per optimization pass, since
+// plan-cost thresholds (§6.4) can require re-optimization.
+type Table struct {
+	n    int
+	full bitset.Set
+
+	model    cost.Model
+	memoized cost.Memoized         // non-nil when model supports table memoization
+	dnl      *cost.DiskNestedLoops // non-nil when model is the dnl model (inlined κ″)
+	naive    bool                  // κ″ ≡ 0 (skip evaluation entirely)
+
+	// card[s] is the §5 intermediate-result cardinality of relation set s.
+	card []float64
+	// fan[s] is Π_fan(s) (equation 9); nil when the query has no join graph.
+	fan []float64
+	// memo[s] caches the model's per-set value (e.g. sort-merge's
+	// |R|(1+log|R|), per the Appendix); nil for non-memoized models.
+	memo []float64
+	// cost[s] is the best plan cost found for s in the current pass; +Inf
+	// when none exists under the active threshold.
+	cost []float64
+	// bestLHS[s] is the left operand of the best split of s; 0 when s is a
+	// singleton or no plan was found. Stored as uint32: n ≤ 30.
+	bestLHS []uint32
+}
+
+// NewTable allocates a table for n relations. hasGraph selects whether the
+// fan column is maintained; model determines memoization and κ″ dispatch.
+func NewTable(n int, hasGraph bool, model cost.Model) *Table {
+	size := 1 << uint(n)
+	t := &Table{
+		n:       n,
+		full:    bitset.Full(n),
+		model:   model,
+		card:    make([]float64, size),
+		cost:    make([]float64, size),
+		bestLHS: make([]uint32, size),
+	}
+	if hasGraph {
+		t.fan = make([]float64, size)
+	}
+	if m, ok := model.(cost.Memoized); ok {
+		t.memoized = m
+		t.memo = make([]float64, size)
+	}
+	if m, ok := model.(cost.DiskNestedLoops); ok {
+		t.dnl = &m
+	}
+	if _, ok := model.(cost.Naive); ok {
+		t.naive = true
+	}
+	return t
+}
+
+// N returns the number of relations.
+func (t *Table) N() int { return t.n }
+
+// Card returns the estimated cardinality of relation set s.
+func (t *Table) Card(s bitset.Set) float64 { return t.card[s] }
+
+// Fan returns Π_fan(s), or 1 when the query has no join graph.
+func (t *Table) Fan(s bitset.Set) float64 {
+	if t.fan == nil {
+		return 1
+	}
+	return t.fan[s]
+}
+
+// Cost returns the best plan cost found for s (+Inf if none).
+func (t *Table) Cost(s bitset.Set) float64 { return t.cost[s] }
+
+// BestLHS returns the left operand of the best split of s (empty for
+// singletons and for sets with no plan).
+func (t *Table) BestLHS(s bitset.Set) bitset.Set { return bitset.Set(t.bestLHS[s]) }
+
+// InitProperties fills the cardinality, fan and memo columns for every
+// subset, in numeric order (§4.2): the revised compute_properties of §5.4.
+// Each non-singleton set costs exactly one fan lookup-multiply and two
+// cardinality multiplies, regardless of the join graph.
+func (t *Table) InitProperties(q Query) {
+	g := q.Graph
+	// init_singleton for each relation (§3.2).
+	for i := 0; i < t.n; i++ {
+		s := bitset.Single(i)
+		t.card[s] = q.Cards[i]
+		if t.fan != nil {
+			t.fan[s] = 1
+		}
+		if t.memo != nil {
+			t.memo[s] = t.memoized.Memo(q.Cards[i])
+		}
+	}
+	size := bitset.Set(1) << uint(t.n)
+	for s := bitset.Set(3); s < size; s++ {
+		if s.IsSingleton() {
+			continue
+		}
+		u := s.MinSet()
+		v := s ^ u
+		if q.Estimator != nil {
+			// Generalized §5.2 recurrence via the pluggable estimator
+			// (hypergraphs, equivalence classes, …).
+			t.card[s] = t.card[u] * t.card[v] * q.Estimator.StepFactor(s)
+		} else if t.fan != nil {
+			if v.IsSingleton() {
+				// Doubleton: Π_fan is the selectivity of the connecting
+				// predicate, or 1 when there is none (§5.4).
+				t.fan[s] = g.Selectivity(u.Min(), v.Min())
+			} else {
+				// Recurrence (10): split V into W = {min V} and Z = V − W.
+				w := v.MinSet()
+				z := v ^ w
+				t.fan[s] = t.fan[u|w] * t.fan[u|z]
+			}
+			// Recurrence (11).
+			t.card[s] = t.card[u] * t.card[v] * t.fan[s]
+		} else {
+			t.card[s] = t.card[u] * t.card[v]
+		}
+		if t.memo != nil {
+			t.memo[s] = t.memoized.Memo(t.card[s])
+		}
+	}
+}
+
+// FillCosts runs one optimization pass: find_best_split for every
+// non-singleton subset in numeric order, rejecting any plan whose cost
+// exceeds threshold. It returns the pass's instrumentation counters.
+func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
+	var c Counters
+	for i := 0; i < t.n; i++ {
+		s := bitset.Single(i)
+		t.cost[s] = 0
+		t.bestLHS[s] = 0
+	}
+	size := bitset.Set(1) << uint(t.n)
+	for s := bitset.Set(3); s < size; s++ {
+		if s.IsSingleton() {
+			continue
+		}
+		c.SubsetsVisited++
+		t.findBestSplit(s, opts, threshold, &c)
+	}
+	return c
+}
+
+// findBestSplit fills cost[s] and bestLHS[s] (§3.2 find_best_split with the
+// §4.2 realization details). The κ′ evaluation happens once, before the
+// loop; if it already exceeds the threshold the loop is skipped entirely —
+// the overflow short-circuit of §6.3 that §6.4 generalizes into explicit
+// plan-cost thresholds.
+func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *Counters) {
+	outCard := t.card[s]
+	kp := t.model.SplitIndep(outCard)
+	c.KpEvals++
+	// Skip the whole best-split search when κ′ alone already disqualifies
+	// every plan for s: above the active threshold, infinite (cardinality
+	// overflowed even float64), or NaN.
+	if kp > threshold || math.IsInf(kp, 1) || math.IsNaN(kp) {
+		c.ThresholdSkips++
+		t.cost[s] = math.Inf(1)
+		t.bestLHS[s] = 0
+		return
+	}
+
+	// best tracks the split-dependent portion (operand costs + κ″); the
+	// final cost is best + κ′. Initializing best at threshold − κ′ rejects
+	// over-threshold plans inside the loop for free.
+	best := threshold - kp
+	bestLHS := bitset.Empty
+	costs := t.cost
+
+	var iters, kppEvals, condHits uint64
+
+	switch {
+	case opts.LeftDeep:
+		// Left-deep restriction (§6.2): the right operand must be a base
+		// relation, so only |s| splits are considered. The ablation flags do
+		// not apply in this mode.
+		for rest := s; rest != 0; rest &= rest - 1 {
+			rhs := rest & -rest
+			lhs := s ^ rhs
+			if lhs == 0 {
+				continue
+			}
+			iters++
+			lc := costs[lhs] // rhs is a base relation: cost 0
+			if lc >= best {
+				continue
+			}
+			dpnd := lc
+			if !t.naive {
+				kppEvals++
+				dpnd += t.splitDep(outCard, lhs, rhs)
+			}
+			if dpnd < best {
+				best = dpnd
+				bestLHS = lhs
+				condHits++
+			}
+		}
+
+	case opts.DisableNestedIfs || opts.DescendingSubsets:
+		// Ablation paths; correctness matters, raw speed does not.
+		next := func(lhs bitset.Set) bitset.Set { return s & (lhs - s) }
+		lhs := s & -s
+		if opts.DescendingSubsets {
+			next = func(lhs bitset.Set) bitset.Set { return s.DescendSubset(lhs) }
+			lhs = s.DescendSubset(s)
+		}
+		for ; lhs != s && lhs != 0; lhs = next(lhs) {
+			iters++
+			rhs := s ^ lhs
+			lc, rc := costs[lhs], costs[rhs]
+			if !opts.DisableNestedIfs && (lc >= best || rc >= best || lc+rc >= best) {
+				continue
+			}
+			dpnd := lc + rc
+			if !t.naive {
+				kppEvals++
+				dpnd += t.splitDep(outCard, lhs, rhs)
+			}
+			if dpnd < best {
+				best = dpnd
+				bestLHS = lhs
+				condHits++
+			}
+		}
+
+	default:
+		// The paper's enumeration: succ(L) = S & (L − S), starting at
+		// δ_S(1) = S & −S (§4.2), with the nested-if structure: each
+		// comparison below is predicated on the previous one succeeding,
+		// so κ″ is evaluated only for competitive splits.
+		for lhs := s & -s; lhs != s; lhs = s & (lhs - s) {
+			iters++
+			lc := costs[lhs]
+			if lc >= best {
+				continue
+			}
+			rc := costs[s^lhs]
+			if rc >= best {
+				continue
+			}
+			oprnd := lc + rc
+			if oprnd >= best {
+				continue
+			}
+			dpnd := oprnd
+			if !t.naive {
+				kppEvals++
+				dpnd += t.splitDep(outCard, lhs, s^lhs)
+			}
+			if dpnd < best {
+				best = dpnd
+				bestLHS = lhs
+				condHits++
+			}
+		}
+	}
+
+	c.LoopIters += iters
+	c.KppEvals += kppEvals
+	c.CondHits += condHits
+	if bestLHS == 0 {
+		t.cost[s] = math.Inf(1)
+		t.bestLHS[s] = 0
+		return
+	}
+	t.cost[s] = best + kp
+	t.bestLHS[s] = uint32(bestLHS)
+}
+
+// splitDep computes κ″ for a split, using the memoized per-set values or the
+// inlined disk-nested-loops formula when available.
+func (t *Table) splitDep(outCard float64, lhs, rhs bitset.Set) float64 {
+	if t.memo != nil {
+		return t.memoized.SplitDepFromMemo(outCard, t.memo[lhs], t.memo[rhs])
+	}
+	if t.dnl != nil {
+		l, r := t.card[lhs], t.card[rhs]
+		m := l
+		if r < l {
+			m = r
+		}
+		return l*r/(t.dnl.K*t.dnl.K*(t.dnl.M-1)) + m/t.dnl.K
+	}
+	return t.model.SplitDep(outCard, t.card[lhs], t.card[rhs])
+}
+
+// ExtractPlan reads the optimal plan for relation set s out of the filled
+// table by recursively following best_lhs links, as described for Table 1.
+// It returns nil if s has no plan (cost +Inf) — callers should check Cost
+// first.
+func (t *Table) ExtractPlan(s bitset.Set) *plan.Node {
+	if s.IsSingleton() {
+		return plan.Leaf(s.Min(), t.card[s])
+	}
+	lhsSet := bitset.Set(t.bestLHS[s])
+	if lhsSet == 0 {
+		return nil
+	}
+	left := t.ExtractPlan(lhsSet)
+	right := t.ExtractPlan(s ^ lhsSet)
+	if left == nil || right == nil {
+		return nil
+	}
+	return &plan.Node{
+		Set:   s,
+		Card:  t.card[s],
+		Cost:  t.cost[s],
+		Left:  left,
+		Right: right,
+	}
+}

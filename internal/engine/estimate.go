@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blitzsplit/internal/joingraph"
+)
+
+// This file adds statistics collection on synthesized (or hand-built)
+// instances: sampling-based selectivity estimation, closing the loop in the
+// other direction from Execute — instead of checking the optimizer's
+// estimates against data, it derives the optimizer's *inputs* from data, the
+// way a real system's ANALYZE would.
+
+// EstimateSelectivity estimates the selectivity of the equi-join predicate
+// between relations a and b by joining uniform row samples of both sides and
+// dividing the match count by the sample cross-product size. sampleSize
+// bounds each side's sample (the whole relation is used when smaller).
+// Deterministic in seed. Returns an error when the instance carries no such
+// predicate column.
+func (inst *Instance) EstimateSelectivity(a, b, sampleSize int, seed int64) (float64, error) {
+	if a < 0 || a >= len(inst.Relations) || b < 0 || b >= len(inst.Relations) {
+		return 0, fmt.Errorf("engine: relation pair (%d,%d) out of range", a, b)
+	}
+	col := JoinColumn(a, b)
+	ca, okA := inst.Relations[a].Cols[col]
+	cb, okB := inst.Relations[b].Cols[col]
+	if !okA || !okB {
+		return 0, fmt.Errorf("engine: no join column %q between R%d and R%d", col, a, b)
+	}
+	if sampleSize <= 0 {
+		sampleSize = 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sa := sampleInt64(rng, ca, sampleSize)
+	sb := sampleInt64(rng, cb, sampleSize)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0, nil
+	}
+	// Hash-count matches between the samples.
+	counts := make(map[int64]int, len(sa))
+	for _, v := range sa {
+		counts[v]++
+	}
+	matches := 0
+	for _, v := range sb {
+		matches += counts[v]
+	}
+	return float64(matches) / (float64(len(sa)) * float64(len(sb))), nil
+}
+
+func sampleInt64(rng *rand.Rand, vals []int64, k int) []int64 {
+	if len(vals) <= k {
+		out := make([]int64, len(vals))
+		copy(out, vals)
+		return out
+	}
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = vals[rng.Intn(len(vals))]
+	}
+	return out
+}
+
+// EstimatedGraph rebuilds a join graph from the instance's data: for every
+// predicate in the instance's original graph, the selectivity is re-estimated
+// by sampling. The edge set (topology) is taken from the original graph —
+// discovering joinable columns is schema knowledge, not statistics.
+// Estimated selectivities are clamped into (0, 1]; an estimate of exactly 0
+// (no matches in the sample) is replaced by 1/(sampleSize²), the smallest
+// value the sample could have resolved.
+func (inst *Instance) EstimatedGraph(sampleSize int, seed int64) (*joingraph.Graph, error) {
+	if inst.Graph == nil {
+		return nil, fmt.Errorf("engine: instance has no join graph to estimate")
+	}
+	g := joingraph.New(inst.Graph.N())
+	if sampleSize <= 0 {
+		sampleSize = 1024
+	}
+	for i, e := range inst.Graph.Edges() {
+		sel, err := inst.EstimateSelectivity(e.A, e.B, sampleSize, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if sel <= 0 {
+			sel = 1 / (float64(sampleSize) * float64(sampleSize))
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		if err := g.AddEdge(e.A, e.B, sel); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

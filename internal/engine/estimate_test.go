@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"blitzsplit/internal/joingraph"
+)
+
+func TestEstimateSelectivity(t *testing.T) {
+	g := joingraph.New(2)
+	trueSel := 0.02 // domain 50
+	g.MustAddEdge(0, 1, trueSel)
+	inst, err := Synthesize([]float64{5000, 4000}, g, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := inst.EstimateSelectivity(0, 1, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-trueSel)/trueSel > 0.25 {
+		t.Errorf("estimated %v, true %v", est, trueSel)
+	}
+	// Deterministic in seed.
+	est2, err := inst.EstimateSelectivity(0, 1, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != est2 {
+		t.Error("estimation not deterministic")
+	}
+}
+
+func TestEstimateSelectivityErrors(t *testing.T) {
+	inst, err := Synthesize([]float64{10, 10}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.EstimateSelectivity(0, 1, 100, 1); err == nil {
+		t.Error("missing join column accepted")
+	}
+	if _, err := inst.EstimateSelectivity(0, 5, 100, 1); err == nil {
+		t.Error("out-of-range relation accepted")
+	}
+}
+
+func TestEstimateSelectivitySmallRelations(t *testing.T) {
+	g := joingraph.New(2)
+	g.MustAddEdge(0, 1, 1) // domain 1: everything matches
+	inst, err := Synthesize([]float64{8, 6}, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := inst.EstimateSelectivity(0, 1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Errorf("domain-1 selectivity = %v, want 1", est)
+	}
+	// Zero-row relation: estimate is 0 without error.
+	inst2, err := Synthesize([]float64{0, 6}, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = inst2.EstimateSelectivity(0, 1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("empty-relation selectivity = %v, want 0", est)
+	}
+}
+
+func TestEstimatedGraph(t *testing.T) {
+	n := 5
+	cards := joingraph.CardinalityLadder(n, 2000, 0.25)
+	g := joingraph.Build(joingraph.AppendixChainEdges(n), cards)
+	inst, err := Synthesize(cards, g, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := inst.EstimatedGraph(4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", est.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		got := est.Selectivity(e.A, e.B)
+		if got <= 0 || got > 1 {
+			t.Errorf("edge (%d,%d): estimate %v out of range", e.A, e.B, got)
+		}
+		// Within a factor of 3 of the truth at this sample size (the true
+		// selectivities here are ≳ 1e-4, resolvable by 4000² sample pairs).
+		if ratio := got / e.Selectivity; ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("edge (%d,%d): estimate %v vs true %v", e.A, e.B, got, e.Selectivity)
+		}
+	}
+	// No graph → error.
+	plain, err := Synthesize([]float64{5}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.EstimatedGraph(100, 1); err == nil {
+		t.Error("graphless instance accepted")
+	}
+}

@@ -1,0 +1,267 @@
+// Package harness measures optimizer runs and renders the paper's tables and
+// figures as text. It follows the paper's timing methodology — each point is
+// an average over k back-to-back runs with k·t at least a fixed wall budget
+// (the paper used 30 s on 1996 hardware; the default here is scaled down and
+// configurable) — and it fits the §3.3 execution-time formula (3) to
+// Figure-2-style sweeps to recover the constants T_loop, T_cond, T_subset.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/stats"
+	"blitzsplit/internal/workload"
+)
+
+// DefaultBudget is the minimum cumulative wall time per measurement point.
+const DefaultBudget = 200 * time.Millisecond
+
+// Measurement is one timed evaluation point.
+type Measurement struct {
+	// Case is the input that was optimized.
+	Case workload.Case
+	// Seconds is the average wall time per optimization run.
+	Seconds float64
+	// Runs is the number of back-to-back runs averaged.
+	Runs int
+	// Cost is the optimal plan cost found.
+	Cost float64
+	// Counters are the instrumentation counts from the final run.
+	Counters core.Counters
+	// Err is non-nil when optimization failed (e.g. overflow with no plan).
+	Err error
+}
+
+// options converts a workload case to optimizer options.
+func options(c workload.Case) core.Options {
+	return core.Options{Model: c.Model, CostThreshold: c.Threshold}
+}
+
+// Measure times one case: it repeats optimization until the cumulative wall
+// time reaches budget (at least one run) and averages.
+func Measure(c workload.Case, budget time.Duration) Measurement {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	q := core.Query{Cards: c.Cards, Graph: c.Graph}
+	opts := options(c)
+	var runs int
+	var last *core.Result
+	var err error
+	start := time.Now()
+	for {
+		last, err = core.Optimize(q, opts)
+		runs++
+		if err != nil {
+			return Measurement{Case: c, Runs: runs, Err: err,
+				Seconds: time.Since(start).Seconds() / float64(runs)}
+		}
+		if time.Since(start) >= budget {
+			break
+		}
+	}
+	m := Measurement{
+		Case:     c,
+		Seconds:  time.Since(start).Seconds() / float64(runs),
+		Runs:     runs,
+		Cost:     last.Cost,
+		Counters: last.Counters,
+	}
+	return m
+}
+
+// MeasureAll measures every case, streaming one progress line per case to
+// progress when non-nil.
+func MeasureAll(cases []workload.Case, budget time.Duration, progress io.Writer) []Measurement {
+	out := make([]Measurement, 0, len(cases))
+	for _, c := range cases {
+		m := Measure(c, budget)
+		out = append(out, m)
+		if progress != nil {
+			if m.Err != nil {
+				fmt.Fprintf(progress, "%-48s ERROR %v\n", c.Name, m.Err)
+			} else {
+				fmt.Fprintf(progress, "%-48s %10.4gs  (%d runs, %d passes)\n",
+					c.Name, m.Seconds, m.Runs, m.Counters.Passes)
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the measurements as CSV with a fixed column set.
+func WriteCSV(w io.Writer, ms []Measurement) error {
+	if _, err := fmt.Fprintln(w,
+		"name,n,model,topology,mean_card,variability,threshold,seconds,runs,cost,passes,loop_iters,kpp_evals,kp_evals,cond_hits,threshold_skips,error"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		c := m.Case
+		modelName := ""
+		if c.Model != nil {
+			modelName = c.Model.Name()
+		}
+		topo := ""
+		if c.Graph != nil {
+			topo = c.Topology.String()
+		}
+		errStr := ""
+		if m.Err != nil {
+			errStr = strings.ReplaceAll(m.Err.Error(), ",", ";")
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%g,%g,%g,%.9g,%d,%.9g,%d,%d,%d,%d,%d,%d,%s\n",
+			c.Name, c.N, modelName, topo, c.MeanCard, c.Variability, c.Threshold,
+			m.Seconds, m.Runs, m.Cost, m.Counters.Passes,
+			m.Counters.LoopIters, m.Counters.KppEvals, m.Counters.KpEvals,
+			m.Counters.CondHits, m.Counters.ThresholdSkips, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReportFigure2 renders a Figure-2-style table — optimization time vs n for
+// Cartesian products — plus the formula-(3) fit when at least 4 points are
+// available.
+func ReportFigure2(w io.Writer, ms []Measurement) {
+	fmt.Fprintln(w, "Figure 2 — Cartesian product optimization times")
+	fmt.Fprintln(w, "(paper: SPARC-2 T_loop ≈ 180 ns, HP-755 T_loop ≈ 50 ns; 15-way ≈ 0.9 s on the HP)")
+	fmt.Fprintf(w, "%4s  %12s  %14s  %14s\n", "n", "seconds", "loop iters", "ns/loop-iter")
+	var ns []int
+	var secs []float64
+	for _, m := range ms {
+		if m.Err != nil {
+			fmt.Fprintf(w, "%4d  ERROR %v\n", m.Case.N, m.Err)
+			continue
+		}
+		perIter := math.NaN()
+		if m.Counters.LoopIters > 0 {
+			perIter = m.Seconds / float64(m.Counters.LoopIters) * 1e9
+		}
+		fmt.Fprintf(w, "%4d  %12.6f  %14d  %14.2f\n", m.Case.N, m.Seconds, m.Counters.LoopIters, perIter)
+		ns = append(ns, m.Case.N)
+		secs = append(secs, m.Seconds)
+	}
+	if len(ns) >= 4 {
+		tLoop, tCond, tSubset, err := stats.FitFormula3(ns, secs)
+		if err != nil {
+			fmt.Fprintf(w, "formula (3) fit failed: %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "formula (3) fit: T_loop = %.3g ns, T_cond = %.3g ns, T_subset = %.3g ns\n",
+			tLoop*1e9, tCond*1e9, tSubset*1e9)
+		// Show fit quality at the largest n.
+		last := len(ns) - 1
+		pred := stats.EvalFormula3(ns[last], tLoop, tCond, tSubset)
+		fmt.Fprintf(w, "fit at n=%d: predicted %.4gs, measured %.4gs\n", ns[last], pred, secs[last])
+	}
+}
+
+// GridKey identifies one (model, topology) cell of the Figure-4 array.
+type GridKey struct {
+	Model    string
+	Topology string
+}
+
+// ReportGrid renders Figure-4/5/6-style cells: for each (model, topology)
+// pair, a table with one row per mean cardinality and one column per
+// variability, cell values in seconds. Multi-pass cells (Figure 6 ripples)
+// are flagged with a trailing *N (N = passes).
+func ReportGrid(w io.Writer, title string, ms []Measurement) {
+	type cellKey struct {
+		mean, variability float64
+	}
+	groups := map[GridKey]map[cellKey]Measurement{}
+	var keys []GridKey
+	for _, m := range ms {
+		k := GridKey{Topology: m.Case.Topology.String()}
+		if m.Case.Model != nil {
+			k.Model = m.Case.Model.Name()
+		}
+		if m.Case.Threshold > 0 {
+			k.Topology += fmt.Sprintf(" th=%.3g", m.Case.Threshold)
+		}
+		if _, ok := groups[k]; !ok {
+			groups[k] = map[cellKey]Measurement{}
+			keys = append(keys, k)
+		}
+		groups[k][cellKey{m.Case.MeanCard, m.Case.Variability}] = m
+	}
+	fmt.Fprintln(w, title)
+	for _, k := range keys {
+		cells := groups[k]
+		var means, vars []float64
+		seenM := map[float64]bool{}
+		seenV := map[float64]bool{}
+		for ck := range cells {
+			if !seenM[ck.mean] {
+				seenM[ck.mean] = true
+				means = append(means, ck.mean)
+			}
+			if !seenV[ck.variability] {
+				seenV[ck.variability] = true
+				vars = append(vars, ck.variability)
+			}
+		}
+		sort.Float64s(means)
+		sort.Float64s(vars)
+		fmt.Fprintf(w, "\n[%s × %s]  seconds per optimization (rows: mean card; cols: variability)\n", k.Model, k.Topology)
+		fmt.Fprintf(w, "%10s", "mean\\var")
+		for _, v := range vars {
+			fmt.Fprintf(w, "  %10.2f", v)
+		}
+		fmt.Fprintln(w)
+		for _, mean := range means {
+			fmt.Fprintf(w, "%10.3g", mean)
+			for _, v := range vars {
+				m, ok := cells[cellKey{mean, v}]
+				switch {
+				case !ok:
+					fmt.Fprintf(w, "  %10s", "-")
+				case m.Err != nil:
+					fmt.Fprintf(w, "  %10s", "ERR")
+				case m.Counters.Passes > 1:
+					fmt.Fprintf(w, "  %8.4f*%d", m.Seconds, m.Counters.Passes)
+				default:
+					fmt.Fprintf(w, "  %10.4f", m.Seconds)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// ReportCounts renders the §6.2 execution-count analysis for a set of
+// measurements: κ″ evaluations against the analytic bounds (ln2/2)·n·2^n and
+// 3^n, and κ′ against 2^n.
+func ReportCounts(w io.Writer, ms []Measurement) {
+	fmt.Fprintln(w, "κ″/κ′ execution counts vs the §6.2 analytic bounds")
+	fmt.Fprintf(w, "%-48s %12s %12s %12s %12s %10s\n",
+		"case", "κ″ evals", "(ln2/2)n2^n", "3^n splits", "κ′ evals", "passes")
+	for _, m := range ms {
+		if m.Err != nil {
+			fmt.Fprintf(w, "%-48s ERROR %v\n", m.Case.Name, m.Err)
+			continue
+		}
+		n := m.Case.N
+		lower := math.Ln2 / 2 * float64(n) * math.Pow(2, float64(n))
+		upper := math.Pow(3, float64(n))
+		fmt.Fprintf(w, "%-48s %12d %12.0f %12.0f %12d %10d\n",
+			m.Case.Name, m.Counters.KppEvals, lower, upper, m.Counters.KpEvals, m.Counters.Passes)
+	}
+}
+
+// Speedup returns b/a — how many times faster a is than b — guarding
+// against zero.
+func Speedup(a, b float64) float64 {
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	return b / a
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/workload"
+)
+
+func TestMeasureTable1(t *testing.T) {
+	m := Measure(workload.Table1Case(), time.Millisecond)
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.Cost != 241000 {
+		t.Errorf("cost = %v, want 241000", m.Cost)
+	}
+	if m.Runs < 1 || m.Seconds <= 0 {
+		t.Errorf("runs=%d seconds=%v", m.Runs, m.Seconds)
+	}
+}
+
+func TestMeasureRespectsBudget(t *testing.T) {
+	c := workload.CartesianCase(4, 100)
+	quick := Measure(c, time.Microsecond)
+	long := Measure(c, 20*time.Millisecond)
+	if long.Runs <= quick.Runs {
+		t.Errorf("bigger budget did not add runs: %d vs %d", long.Runs, quick.Runs)
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	c := workload.CartesianCase(3, 1e30) // κ′ overflows float32 for every plan
+	m := Measure(c, time.Millisecond)
+	if m.Err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestMeasureAllAndCSV(t *testing.T) {
+	cases := workload.Figure2Cases(2, 6)
+	var progress strings.Builder
+	ms := MeasureAll(cases, time.Millisecond, &progress)
+	if len(ms) != len(cases) {
+		t.Fatalf("measured %d of %d", len(ms), len(cases))
+	}
+	if !strings.Contains(progress.String(), "fig2/n=3") {
+		t.Error("progress output missing case names")
+	}
+	var csv strings.Builder
+	if err := WriteCSV(&csv, ms); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(cases)+1 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name,n,model,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fig2/n=2") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestReportFigure2(t *testing.T) {
+	ms := MeasureAll(workload.Figure2Cases(4, 10), time.Millisecond, nil)
+	var out strings.Builder
+	ReportFigure2(&out, ms)
+	s := out.String()
+	for _, want := range []string{"Figure 2", "loop iters", "formula (3) fit", "T_loop"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportGrid(t *testing.T) {
+	var cases []workload.Case
+	for _, c := range workload.Figure5Cases(9) {
+		// Subsample to keep the test fast: variability 0 and 1 only.
+		if c.Variability == 0 || c.Variability == 1 {
+			cases = append(cases, c)
+		}
+	}
+	ms := MeasureAll(cases, time.Microsecond, nil)
+	var out strings.Builder
+	ReportGrid(&out, "Figure 5 close-ups", ms)
+	s := out.String()
+	for _, want := range []string{"Figure 5", "naive × chain", "dnl × cycle+3", "mean\\var"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("grid missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportGridFlagsMultiPass(t *testing.T) {
+	// A tight threshold forces multiple passes → the cell gets a *N flag.
+	c := workload.AppendixCase(joingraph.TopoChain, cost.NewDiskNestedLoops(), 1e6, 0, 7)
+	c.Threshold = 1e-3
+	ms := MeasureAll([]workload.Case{c}, time.Microsecond, nil)
+	if ms[0].Err != nil {
+		t.Fatal(ms[0].Err)
+	}
+	if ms[0].Counters.Passes < 2 {
+		t.Skip("threshold did not force a second pass on this input")
+	}
+	var out strings.Builder
+	ReportGrid(&out, "fig6", ms)
+	if !strings.Contains(out.String(), "*") {
+		t.Errorf("multi-pass cell not flagged:\n%s", out.String())
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	ms := MeasureAll([]workload.Case{workload.CartesianCase(8, 100)}, time.Microsecond, nil)
+	var out strings.Builder
+	ReportCounts(&out, ms)
+	if !strings.Contains(out.String(), "κ″ evals") {
+		t.Errorf("counts report malformed:\n%s", out.String())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2, 10); got != 5 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(0, 1), 1) {
+		t.Error("Speedup(0, ·) should be +Inf")
+	}
+}

@@ -1,0 +1,306 @@
+// Package hybrid implements optimizers for queries beyond exhaustive reach —
+// the direction the paper's §7 sketches as future work ("a hybrid method …
+// combines dynamic programming with randomized search"):
+//
+//   - Greedy: greedy operator ordering (GOO) — repeatedly join the pair of
+//     units with the smallest resulting cardinality. Linear-ish, any n,
+//     no optimality guarantee. The weakest and fastest point of reference.
+//   - IDP: iterative dynamic programming with block size k. Runs the
+//     blitzsplit-style DP over subsets of at most k units, materializes the
+//     best k-unit subplan as a compound unit, and repeats until one unit
+//     remains. k = n degenerates to exact blitzsplit; smaller k trades plan
+//     quality for time. (IDP-1 in later literature; the natural DP-side half
+//     of the paper's hybrid.)
+//   - ChainedLocal: IDP followed by randomized hill-climbing from the IDP
+//     plan — the full §7 hybrid shape: a strong deterministic seed polished
+//     by local search.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// Result is the outcome of a hybrid optimization.
+type Result struct {
+	// Plan is the best plan found (leaves are the original base relations).
+	Plan *plan.Node
+	// Cost is the plan's estimated cost.
+	Cost float64
+	// DPRounds counts the bounded-DP invocations (IDP/ChainedLocal only).
+	DPRounds int
+	// Considered counts plans/subsets costed across all phases.
+	Considered uint64
+}
+
+func validate(cards []float64, g *joingraph.Graph) error {
+	n := len(cards)
+	if n == 0 {
+		return errors.New("hybrid: no relations")
+	}
+	if n > bitset.MaxRelations {
+		return fmt.Errorf("hybrid: %d relations exceeds maximum %d", n, bitset.MaxRelations)
+	}
+	if g != nil && g.N() != n {
+		return fmt.Errorf("hybrid: graph covers %d relations, query has %d", g.N(), n)
+	}
+	return nil
+}
+
+// unit is a committed subplan acting as a pseudo-relation.
+type unit struct {
+	tree *plan.Node // leaves are original relations
+	card float64
+	cost float64 // cumulative cost of the subplan
+}
+
+// selBetween returns the product of selectivities of predicates spanning the
+// two units' relation sets (1 when g is nil).
+func selBetween(g *joingraph.Graph, a, b bitset.Set) float64 {
+	if g == nil {
+		return 1
+	}
+	return g.SpanProduct(a, b)
+}
+
+// Greedy implements greedy operator ordering: among all unit pairs, join the
+// one with the smallest output cardinality (ties: smaller combined cost),
+// until one unit remains.
+func Greedy(cards []float64, g *joingraph.Graph, m cost.Model) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	units := make([]unit, len(cards))
+	for i, c := range cards {
+		units[i] = unit{tree: plan.Leaf(i, c), card: c}
+	}
+	var considered uint64
+	for len(units) > 1 {
+		bestI, bestJ := -1, -1
+		bestCard := math.Inf(1)
+		for i := 0; i < len(units); i++ {
+			for j := i + 1; j < len(units); j++ {
+				considered++
+				out := units[i].card * units[j].card * selBetween(g, units[i].tree.Set, units[j].tree.Set)
+				if out < bestCard {
+					bestCard = out
+					bestI, bestJ = i, j
+				}
+			}
+		}
+		a, b := units[bestI], units[bestJ]
+		joined := unit{
+			tree: &plan.Node{
+				Set:  a.tree.Set.Union(b.tree.Set),
+				Card: bestCard,
+				Left: a.tree, Right: b.tree,
+			},
+			card: bestCard,
+			cost: a.cost + b.cost + cost.Total(m, bestCard, a.card, b.card),
+		}
+		joined.tree.Cost = joined.cost
+		units[bestJ] = units[len(units)-1]
+		units = units[:len(units)-1]
+		units[bestI] = joined
+	}
+	root := units[0].tree
+	return &Result{Plan: root, Cost: units[0].cost, Considered: considered}, nil
+}
+
+// IDPOptions configures IDP and ChainedLocal.
+type IDPOptions struct {
+	// K is the DP block size (2 ≤ K ≤ 20-ish; table work grows as 3^K).
+	// 0 means 10.
+	K int
+	// Stochastic configures the ChainedLocal polishing phase.
+	Stochastic baseline.StochasticOptions
+}
+
+func (o IDPOptions) k() int {
+	if o.K <= 0 {
+		return 10
+	}
+	if o.K < 2 {
+		return 2
+	}
+	return o.K
+}
+
+// IDP runs iterative dynamic programming with block size k.
+func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	k := opts.k()
+	units := make([]unit, len(cards))
+	for i, c := range cards {
+		units[i] = unit{tree: plan.Leaf(i, c), card: c}
+	}
+	res := &Result{}
+	for len(units) > 1 {
+		res.DPRounds++
+		block := k
+		if len(units) < block {
+			block = len(units)
+		}
+		best, count, err := boundedDP(units, g, m, block)
+		if err != nil {
+			return nil, err
+		}
+		res.Considered += count
+		// Collapse the chosen subplan into one unit.
+		var next []unit
+		for _, u := range units {
+			if !u.tree.Set.SubsetOf(best.tree.Set) {
+				next = append(next, u)
+			}
+		}
+		next = append(next, best)
+		if len(next) >= len(units) {
+			return nil, errors.New("hybrid: IDP failed to make progress")
+		}
+		units = next
+	}
+	res.Plan = units[0].tree
+	res.Cost = units[0].cost
+	return res, nil
+}
+
+// boundedDP runs the blitzsplit DP over subsets of at most `block` units and
+// returns the best block-sized compound unit (or the full plan when block
+// covers every unit). Subsets are keyed by bitsets over *unit indexes*.
+func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int) (unit, uint64, error) {
+	u := len(units)
+	if u > bitset.MaxRelations {
+		return unit{}, 0, fmt.Errorf("hybrid: %d units exceed the bitset capacity", u)
+	}
+	// Pairwise selectivities between units.
+	sel := make([][]float64, u)
+	for i := range sel {
+		sel[i] = make([]float64, u)
+		for j := range sel[i] {
+			if i == j {
+				sel[i][j] = 1
+			} else {
+				sel[i][j] = selBetween(g, units[i].tree.Set, units[j].tree.Set)
+			}
+		}
+	}
+	// Dense per-subset arrays keyed by the unit-index bitset. 2^u entries at
+	// 20 bytes each caps usable u well inside bitset.MaxRelations; IDP's
+	// block collapsing shrinks u every round, so only the first rounds pay.
+	size := 1 << uint(u)
+	cardT := make([]float64, size)
+	costT := make([]float64, size)
+	lhsT := make([]uint32, size)
+	for i := range units {
+		s := bitset.Single(i)
+		cardT[s] = units[i].card
+		costT[s] = units[i].cost
+	}
+	var considered uint64
+	// Subsets by ascending size so halves always exist.
+	bySize := make([][]bitset.Set, block+1)
+	var gen func(start int, cur bitset.Set, size int)
+	gen = func(start int, cur bitset.Set, size int) {
+		if size >= 2 {
+			bySize[size] = append(bySize[size], cur)
+		}
+		if size == block {
+			return
+		}
+		for i := start; i < u; i++ {
+			gen(i+1, cur.Add(i), size+1)
+		}
+	}
+	gen(0, 0, 0)
+	for sz := 2; sz <= block; sz++ {
+		for _, s := range bySize[sz] {
+			// Cardinality via the unit-level fan: min unit × rest.
+			mi := s.Min()
+			rest := s.Remove(mi)
+			fan := 1.0
+			rest.ForEach(func(j int) { fan *= sel[mi][j] })
+			card := cardT[bitset.Single(mi)] * cardT[rest] * fan
+			best := math.Inf(1)
+			var bestLHS bitset.Set
+			for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+				considered++
+				r := s ^ l
+				lc, rc := costT[l], costT[r]
+				if lc+rc >= best {
+					continue
+				}
+				total := lc + rc + cost.Total(m, card, cardT[l], cardT[r])
+				if total < best {
+					best = total
+					bestLHS = l
+				}
+			}
+			cardT[s] = card
+			costT[s] = best
+			lhsT[s] = uint32(bestLHS)
+		}
+	}
+	// Choose the winning subset: the full set if covered, else the cheapest
+	// block-sized subset (ties: smallest cardinality, then smallest set
+	// value for determinism).
+	var winner bitset.Set
+	if block == u {
+		winner = bitset.Full(u)
+	} else {
+		bestCost, bestCard := math.Inf(1), math.Inf(1)
+		for _, s := range bySize[block] {
+			if costT[s] < bestCost || (costT[s] == bestCost && (cardT[s] < bestCard ||
+				(cardT[s] == bestCard && s < winner))) {
+				winner, bestCost, bestCard = s, costT[s], cardT[s]
+			}
+		}
+	}
+	// Stitch the winner's tree out of the table and the unit subtrees.
+	var build func(s bitset.Set) *plan.Node
+	build = func(s bitset.Set) *plan.Node {
+		if s.IsSingleton() {
+			return units[s.Min()].tree
+		}
+		lhs := bitset.Set(lhsT[s])
+		left := build(lhs)
+		right := build(s ^ lhs)
+		return &plan.Node{
+			Set:  left.Set.Union(right.Set),
+			Card: cardT[s],
+			Cost: costT[s],
+			Left: left, Right: right,
+		}
+	}
+	tree := build(winner)
+	return unit{tree: tree, card: cardT[winner], cost: costT[winner]}, considered, nil
+}
+
+// ChainedLocal is the paper's §7 hybrid: an IDP seed plan polished by
+// randomized hill-climbing over the full bushy plan space.
+func ChainedLocal(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*Result, error) {
+	seed, err := IDP(cards, g, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	improved, climbed := baseline.HillClimbFrom(seed.Plan, cards, g, m, opts.Stochastic)
+	res := &Result{
+		Plan:       improved,
+		Cost:       improved.Cost,
+		DPRounds:   seed.DPRounds,
+		Considered: seed.Considered + climbed,
+	}
+	if seed.Cost < res.Cost {
+		// Hill climbing never worsens, but guard against recompute drift.
+		res.Plan, res.Cost = seed.Plan, seed.Cost
+	}
+	return res, nil
+}

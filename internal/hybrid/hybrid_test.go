@@ -1,0 +1,242 @@
+package hybrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func chainQuery(n int, mean float64) ([]float64, *joingraph.Graph) {
+	cards := joingraph.CardinalityLadder(n, mean, 0.5)
+	return cards, joingraph.Build(joingraph.AppendixChainEdges(n), cards)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Greedy(nil, nil, cost.Naive{}); err == nil {
+		t.Error("empty query accepted by Greedy")
+	}
+	if _, err := IDP([]float64{1, 2}, joingraph.New(3), cost.Naive{}, IDPOptions{}); err == nil {
+		t.Error("mismatched graph accepted by IDP")
+	}
+}
+
+func TestGreedyProducesValidPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		cards, g := chainQuery(maxInt(n, 2), 100)
+		res, err := Greedy(cards, g, cost.NewDiskNestedLoops())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Plan.Set != bitset.Full(len(cards)) {
+			t.Fatalf("trial %d: plan covers %v", trial, res.Plan.Set)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestGreedyNeverBeatsExact: greedy is a heuristic; it can only be ≥ the
+// exhaustive optimum, and its plan's recomputed cost must match its reported
+// cost.
+func TestGreedyNeverBeatsExact(t *testing.T) {
+	for _, n := range []int{5, 8, 11} {
+		cards, g := chainQuery(n, 464)
+		m := cost.NewDiskNestedLoops()
+		exact, err := core.Optimize(core.Query{Cards: cards, Graph: g}, core.Options{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Greedy(cards, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Cost < exact.Cost*(1-1e-9) {
+			t.Errorf("n=%d: greedy %v beats exact %v", n, greedy.Cost, exact.Cost)
+		}
+		cp := greedy.Plan.Clone()
+		cp.RecomputeCards(g, cards)
+		if got := cp.RecomputeCost(m); relDiff(got, greedy.Cost) > 1e-9 {
+			t.Errorf("n=%d: greedy reported %v, recomputed %v", n, greedy.Cost, got)
+		}
+	}
+}
+
+// TestIDPWithFullBlockIsExact: K ≥ n degenerates to exact DP — the cost must
+// equal blitzsplit's.
+func TestIDPWithFullBlockIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = math.Floor(1 + rng.Float64()*300)
+		}
+		g := joingraph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.MustAddEdge(i, j, 0.01+0.99*rng.Float64())
+				}
+			}
+		}
+		m := cost.SortMerge{}
+		exact, err := core.Optimize(core.Query{Cards: cards, Graph: g}, core.Options{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idp, err := IDP(cards, g, m, IDPOptions{K: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(idp.Cost, exact.Cost) > 1e-9 {
+			t.Errorf("trial %d: IDP(K=n) %v ≠ exact %v", trial, idp.Cost, exact.Cost)
+		}
+		if idp.DPRounds != 1 {
+			t.Errorf("trial %d: DPRounds = %d", trial, idp.DPRounds)
+		}
+		if err := idp.Plan.Validate(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestIDPQualityBetweenGreedyAndExact: small-block IDP must be ≥ exact and
+// its plan must be valid; on chains it should usually match or beat greedy.
+func TestIDPQualityBounds(t *testing.T) {
+	for _, n := range []int{10, 13} {
+		cards, g := chainQuery(n, 464)
+		m := cost.NewDiskNestedLoops()
+		exact, err := core.Optimize(core.Query{Cards: cards, Graph: g}, core.Options{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{3, 5, 8} {
+			idp, err := IDP(cards, g, m, IDPOptions{K: k})
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if idp.Cost < exact.Cost*(1-1e-9) {
+				t.Errorf("n=%d k=%d: IDP %v beats exact %v", n, k, idp.Cost, exact.Cost)
+			}
+			if err := idp.Plan.Validate(); err != nil {
+				t.Errorf("n=%d k=%d: %v", n, k, err)
+			}
+			if idp.Plan.Set != bitset.Full(n) {
+				t.Errorf("n=%d k=%d: coverage %v", n, k, idp.Plan.Set)
+			}
+			// Reported cost must equal the plan's recomputed cost.
+			cp := idp.Plan.Clone()
+			cp.RecomputeCards(g, cards)
+			if got := cp.RecomputeCost(m); relDiff(got, idp.Cost) > 1e-9 {
+				t.Errorf("n=%d k=%d: reported %v, recomputed %v", n, k, idp.Cost, got)
+			}
+		}
+	}
+}
+
+// TestIDPHandlesLargeN: a 24-relation chain — beyond comfortable exhaustive
+// search on one core — optimizes in seconds with K=8 and stays within a
+// small factor of greedy. (IDP-1's block-collapse heuristic is not
+// guaranteed to dominate greedy; ChainedLocal exists to close that gap.)
+func TestIDPHandlesLargeN(t *testing.T) {
+	n := 24
+	cards, g := chainQuery(n, 464)
+	m := cost.NewDiskNestedLoops()
+	start := time.Now()
+	idp, err := IDP(cards, g, m, IDPOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("IDP took %v", elapsed)
+	}
+	greedy, err := Greedy(cards, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idp.Cost > greedy.Cost*2 {
+		t.Errorf("IDP %v far worse than greedy %v on a chain", idp.Cost, greedy.Cost)
+	}
+	if err := idp.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	if idp.DPRounds < 2 {
+		t.Errorf("expected multiple DP rounds, got %d", idp.DPRounds)
+	}
+}
+
+// TestChainedLocalNeverWorseThanIDP: the §7 hybrid's polishing step can only
+// improve the IDP seed.
+func TestChainedLocalNeverWorseThanIDP(t *testing.T) {
+	n := 16
+	cards, g := chainQuery(n, 100)
+	m := cost.SortMerge{}
+	opts := IDPOptions{K: 5, Stochastic: baseline.StochasticOptions{Seed: 3}}
+	idp, err := IDP(cards, g, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := ChainedLocal(cards, g, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Cost > idp.Cost*(1+1e-9) {
+		t.Errorf("ChainedLocal %v worse than its IDP seed %v", hybrid.Cost, idp.Cost)
+	}
+	if err := hybrid.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	if hybrid.Considered <= idp.Considered {
+		t.Error("polishing phase did not consider any plans")
+	}
+}
+
+// TestGreedyCartesianOnly: greedy on a predicate-free query joins smallest
+// pairs first — check the first join is the two smallest relations.
+func TestGreedyCartesianOnly(t *testing.T) {
+	cards := []float64{50, 3, 7, 1000}
+	res, err := Greedy(cards, nil, cost.Naive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deepest join must be {R1, R2} (3·7 = 21, the smallest product).
+	found := false
+	res.Plan.Walk(func(n *plan.Node) {
+		if !n.IsLeaf() && n.Set == bitset.Of(1, 2) {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("greedy did not product the smallest pair first:\n%s", res.Plan)
+	}
+}

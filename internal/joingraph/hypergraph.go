@@ -1,0 +1,150 @@
+package joingraph
+
+import (
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+)
+
+// This file implements join hypergraphs — predicates referencing more than
+// two relations (e.g. R.a + S.b = T.c), the first of the two §5 extensions
+// the paper mentions but does not develop ("Similar techniques can
+// accommodate implied or redundant predicates and join hypergraphs").
+//
+// The binary fan recurrence (10) does not survive hyperedges: an edge whose
+// tail spans both halves of a split of V would be double- or zero-counted.
+// Instead the hypergraph computes the §5.2 step factor for each subset
+// directly, in O(degree of min S) — each hyperedge e contributes exactly once
+// over the whole table, at the subsets S ⊇ e whose minimum is min e's
+// carrier... precisely: at every S with e ⊆ S and min S ∈ e, which the
+// recurrence card(S) = card(U)·card(V)·step(S) needs (an edge not containing
+// min S lies wholly inside V and is already reflected in card(V)). This is
+// the §5.4 remark made concrete: richer estimation schemes still run in
+// O(2^n) property computations and require no change to find_best_split.
+
+// Hyperedge is a predicate over two or more relations.
+type Hyperedge struct {
+	// Rels is the set of relations the predicate references (|Rels| ≥ 2).
+	Rels bitset.Set `json:"rels"`
+	// Selectivity is the predicate's selectivity in (0, 1].
+	Selectivity float64 `json:"selectivity"`
+}
+
+// Hypergraph is a join graph whose predicates may reference any number of
+// relations. It implements the optimizer's CardEstimator hook.
+type Hypergraph struct {
+	n     int
+	edges []Hyperedge
+	// incident[i] indexes the edges whose minimum relation is i; the step
+	// factor of S only needs edges with min e = min S.
+	incidentMin [][]int
+}
+
+// NewHypergraph returns an edgeless hypergraph over n relations.
+func NewHypergraph(n int) *Hypergraph {
+	if n < 0 || n > bitset.MaxRelations {
+		panic(fmt.Sprintf("joingraph: n = %d out of range [0,%d]", n, bitset.MaxRelations))
+	}
+	return &Hypergraph{n: n, incidentMin: make([][]int, n)}
+}
+
+// N returns the number of relations.
+func (h *Hypergraph) N() int { return h.n }
+
+// NumEdges returns the number of hyperedges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Edges returns a copy of the hyperedge list.
+func (h *Hypergraph) Edges() []Hyperedge {
+	out := make([]Hyperedge, len(h.edges))
+	copy(out, h.edges)
+	return out
+}
+
+// AddEdge adds a predicate over the given relation set.
+func (h *Hypergraph) AddEdge(rels bitset.Set, selectivity float64) error {
+	if rels.Count() < 2 {
+		return fmt.Errorf("joingraph: hyperedge %v needs at least 2 relations", rels)
+	}
+	if !rels.SubsetOf(bitset.Full(h.n)) {
+		return fmt.Errorf("joingraph: hyperedge %v exceeds the %d-relation universe", rels, h.n)
+	}
+	if !(selectivity > 0 && selectivity <= 1) || math.IsNaN(selectivity) {
+		return fmt.Errorf("joingraph: hyperedge selectivity %v outside (0,1]", selectivity)
+	}
+	idx := len(h.edges)
+	h.edges = append(h.edges, Hyperedge{Rels: rels, Selectivity: selectivity})
+	m := rels.Min()
+	h.incidentMin[m] = append(h.incidentMin[m], idx)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (h *Hypergraph) MustAddEdge(rels bitset.Set, selectivity float64) {
+	if err := h.AddEdge(rels, selectivity); err != nil {
+		panic(err)
+	}
+}
+
+// StepFactor implements the optimizer's CardEstimator: the product of the
+// selectivities of hyperedges e with e ⊆ s and min s ∈ e.
+func (h *Hypergraph) StepFactor(s bitset.Set) float64 {
+	f := 1.0
+	for _, idx := range h.incidentMin[s.Min()] {
+		e := h.edges[idx]
+		if e.Rels.SubsetOf(s) {
+			f *= e.Selectivity
+		}
+	}
+	return f
+}
+
+// JoinCardinality is the reference (non-recurrence) computation: the product
+// of the member cardinalities and of the selectivities of every hyperedge
+// wholly contained in s.
+func (h *Hypergraph) JoinCardinality(s bitset.Set, cards []float64) float64 {
+	card := 1.0
+	s.ForEach(func(i int) { card *= cards[i] })
+	for _, e := range h.edges {
+		if e.Rels.SubsetOf(s) {
+			card *= e.Selectivity
+		}
+	}
+	return card
+}
+
+// Connected reports whether the sub-hypergraph induced by s is connected,
+// where a hyperedge links all the relations it references (only members of s
+// count; an edge reaching outside s still links its members inside s —
+// standard induced-subhypergraph semantics would drop such edges, and so do
+// we: an edge participates only if e ⊆ s).
+func (h *Hypergraph) Connected(s bitset.Set) bool {
+	if s.IsEmpty() || s.IsSingleton() {
+		return true
+	}
+	reached := s.MinSet()
+	for {
+		grown := reached
+		for _, e := range h.edges {
+			if e.Rels.SubsetOf(s) && e.Rels.Overlaps(grown) {
+				grown = grown.Union(e.Rels)
+			}
+		}
+		if grown == reached {
+			return reached == s
+		}
+		reached = grown
+	}
+}
+
+// Binary converts a plain binary join graph into the equivalent hypergraph
+// (every 2-relation edge becomes a 2-relation hyperedge). Useful for
+// cross-checking the two cardinality paths against each other.
+func Binary(g *Graph) *Hypergraph {
+	h := NewHypergraph(g.N())
+	for _, e := range g.Edges() {
+		h.MustAddEdge(bitset.Of(e.A, e.B), e.Selectivity)
+	}
+	return h
+}

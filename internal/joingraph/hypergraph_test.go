@@ -1,0 +1,159 @@
+package joingraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+)
+
+func TestHypergraphAddEdgeValidation(t *testing.T) {
+	h := NewHypergraph(4)
+	if err := h.AddEdge(bitset.Of(0), 0.5); err == nil {
+		t.Error("1-relation hyperedge accepted")
+	}
+	if err := h.AddEdge(bitset.Of(0, 5), 0.5); err == nil {
+		t.Error("out-of-universe hyperedge accepted")
+	}
+	for _, sel := range []float64{0, -1, 1.5, math.NaN()} {
+		if err := h.AddEdge(bitset.Of(0, 1), sel); err == nil {
+			t.Errorf("selectivity %v accepted", sel)
+		}
+	}
+	if err := h.AddEdge(bitset.Of(0, 1, 2), 0.5); err != nil {
+		t.Errorf("valid hyperedge rejected: %v", err)
+	}
+	if h.NumEdges() != 1 || h.N() != 4 {
+		t.Errorf("shape: n=%d edges=%d", h.N(), h.NumEdges())
+	}
+	if got := h.Edges(); len(got) != 1 || got[0].Rels != bitset.Of(0, 1, 2) {
+		t.Errorf("Edges = %+v", got)
+	}
+}
+
+func TestHypergraphStepFactor(t *testing.T) {
+	h := NewHypergraph(4)
+	h.MustAddEdge(bitset.Of(0, 1, 2), 0.1) // ternary predicate
+	h.MustAddEdge(bitset.Of(0, 3), 0.2)
+	h.MustAddEdge(bitset.Of(1, 3), 0.5)
+
+	// S = {0,1,2}: only the ternary edge has min = 0 and ⊆ S.
+	if got := h.StepFactor(bitset.Of(0, 1, 2)); got != 0.1 {
+		t.Errorf("StepFactor({0,1,2}) = %v", got)
+	}
+	// S = {0,1,2,3}: edges {0,1,2} and {0,3} qualify; {1,3} has min 1 ≠ 0.
+	if got := h.StepFactor(bitset.Of(0, 1, 2, 3)); math.Abs(got-0.02) > 1e-15 {
+		t.Errorf("StepFactor(full) = %v, want 0.02", got)
+	}
+	// S = {1,3}: edge {1,3} qualifies.
+	if got := h.StepFactor(bitset.Of(1, 3)); got != 0.5 {
+		t.Errorf("StepFactor({1,3}) = %v", got)
+	}
+	// S = {0,1}: the ternary edge is not contained.
+	if got := h.StepFactor(bitset.Of(0, 1)); got != 1 {
+		t.Errorf("StepFactor({0,1}) = %v, want 1", got)
+	}
+}
+
+// TestHypergraphRecurrence: the step-factor recurrence reproduces the direct
+// JoinCardinality for every subset, on random hypergraphs.
+func TestHypergraphRecurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		h := randomHypergraph(rng, n)
+		cards := randomCards(rng, n)
+		full := bitset.Full(n)
+		// Fill cardinalities bottom-up using the recurrence.
+		card := make([]float64, 1<<uint(n))
+		for i := 0; i < n; i++ {
+			card[bitset.Single(i)] = cards[i]
+		}
+		for s := bitset.Set(3); s <= full; s++ {
+			if !s.SubsetOf(full) || s.IsSingleton() || s.IsEmpty() {
+				continue
+			}
+			u := s.MinSet()
+			v := s ^ u
+			card[s] = card[u] * card[v] * h.StepFactor(s)
+			want := h.JoinCardinality(s, cards)
+			if relDiff(card[s], want) > 1e-9 {
+				t.Fatalf("trial %d S=%v: recurrence %v ≠ direct %v", trial, s, card[s], want)
+			}
+		}
+	}
+}
+
+func randomHypergraph(rng *rand.Rand, n int) *Hypergraph {
+	h := NewHypergraph(n)
+	edges := 1 + rng.Intn(2*n)
+	for i := 0; i < edges; i++ {
+		var rels bitset.Set
+		k := 2 + rng.Intn(3)
+		for rels.Count() < k && rels.Count() < n {
+			rels = rels.Add(rng.Intn(n))
+		}
+		if rels.Count() >= 2 {
+			h.MustAddEdge(rels, 0.05+0.95*rng.Float64())
+		}
+	}
+	return h
+}
+
+// TestBinaryConversionAgrees: a binary graph and its hypergraph image give
+// identical step factors and cardinalities everywhere.
+func TestBinaryConversionAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(7)
+		g := randomGraph(rng, n)
+		h := Binary(g)
+		cards := randomCards(rng, n)
+		full := bitset.Full(n)
+		for s := bitset.Set(3); s <= full; s++ {
+			if !s.SubsetOf(full) || s.Count() < 2 {
+				continue
+			}
+			if relDiff(h.StepFactor(s), g.FanProduct(s)) > 1e-12 {
+				t.Fatalf("trial %d S=%v: hyper step %v ≠ fan %v",
+					trial, s, h.StepFactor(s), g.FanProduct(s))
+			}
+			if relDiff(h.JoinCardinality(s, cards), g.JoinCardinality(s, cards)) > 1e-12 {
+				t.Fatalf("trial %d S=%v: cardinalities differ", trial, s)
+			}
+		}
+	}
+}
+
+func TestHypergraphConnected(t *testing.T) {
+	h := NewHypergraph(5)
+	h.MustAddEdge(bitset.Of(0, 1, 2), 0.5)
+	h.MustAddEdge(bitset.Of(3, 4), 0.5)
+	cases := []struct {
+		s    bitset.Set
+		want bool
+	}{
+		{bitset.Empty, true},
+		{bitset.Of(2), true},
+		{bitset.Of(0, 1, 2), true},
+		{bitset.Of(0, 1), false}, // the ternary edge is not ⊆ {0,1}
+		{bitset.Of(3, 4), true},
+		{bitset.Of(0, 1, 2, 3, 4), false},
+		{bitset.Of(2, 3, 4), false},
+	}
+	for _, c := range cases {
+		if got := h.Connected(c.s); got != c.want {
+			t.Errorf("Connected(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestHypergraphPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHypergraph(-1) did not panic")
+		}
+	}()
+	NewHypergraph(-1)
+}

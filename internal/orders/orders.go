@@ -1,0 +1,342 @@
+// Package orders extends blitzsplit-style dynamic programming with physical
+// properties — the "interesting sort orders" of Selinger et al. that the
+// paper's §6.5 flags as an open problem ("we have yet to develop a strategy
+// for the general case"). This package develops the classic strategy for
+// equi-join attributes:
+//
+// Table entries are keyed by (relation set, delivered order) instead of just
+// the relation set, where an order is "sorted on the attribute of predicate
+// e" (or unordered). Two physical operators compete at every join:
+//
+//   - merge join on a spanning predicate e: each input pays a sort unless it
+//     already arrives sorted on e's attribute; the output is sorted on e.
+//   - hash join: input orders are irrelevant and the output is unordered.
+//
+// A sorted intermediate can therefore be worth carrying even when producing
+// it costs more — exactly the situation plain blitzsplit cannot express,
+// since its table keeps one entry per set. The state space grows from 2^n to
+// 2^n × (1 + interesting orders of the set), and the split loop gains a
+// factor for the operator/order choices; this quantifies the §6.5 trade-off.
+//
+// Attribute identity across predicates is supplied by Problem.EdgeAttr
+// (e.g. derived from the schema package's equivalence classes): predicates
+// with the same attribute id join on the same underlying column, so a sorted
+// result carries between them. Without shared attributes a sorted output can
+// never be reused (the producing predicate's endpoints are already joined),
+// and the order-aware optimum provably coincides with the property-blind one
+// — a fact the tests exploit.
+package orders
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// Unordered is the order index meaning "no useful sort order".
+const Unordered = 0
+
+// CostParams parameterizes the order-aware cost model, a sort-merge/hash
+// pair in the style of the paper's Appendix models.
+type CostParams struct {
+	// SortFactor scales the n·log n sort term (default 1).
+	SortFactor float64
+	// MergeFactor scales the linear merge term (default 1).
+	MergeFactor float64
+	// HashFactor scales the hash join's linear build+probe term. The default
+	// 3 mirrors a GRACE hash join's three passes, making merge joins
+	// attractive when sort orders can be reused.
+	HashFactor float64
+}
+
+func (p CostParams) defaults() CostParams {
+	if p.SortFactor <= 0 {
+		p.SortFactor = 1
+	}
+	if p.MergeFactor <= 0 {
+		p.MergeFactor = 1
+	}
+	if p.HashFactor <= 0 {
+		p.HashFactor = 3
+	}
+	return p
+}
+
+// sortCost is the cost of sorting card tuples.
+func (p CostParams) sortCost(card float64) float64 {
+	if card <= 1 {
+		return p.SortFactor * card
+	}
+	return p.SortFactor * card * (1 + math.Log(card))
+}
+
+// mergeCost is the cost of merging two sorted inputs.
+func (p CostParams) mergeCost(l, r float64) float64 {
+	return p.MergeFactor * (l + r)
+}
+
+// hashCost is the cost of hash-joining two inputs.
+func (p CostParams) hashCost(l, r float64) float64 {
+	return p.HashFactor * (l + r)
+}
+
+// Result is the outcome of an order-aware optimization.
+type Result struct {
+	// Plan is the optimal tree; join nodes carry Algorithm annotations
+	// "mergejoin(e)" / "hashjoin", and explicit sorts appear as
+	// "sort(e)"-annotated cost on the join that required them (sorts are
+	// enforcer costs, not separate nodes).
+	Plan *plan.Node
+	// Cost is the total cost including sorts.
+	Cost float64
+	// States is the number of (set, order) table states populated.
+	States int
+	// NaiveCost is the optimum when every intermediate is treated as
+	// unordered (sorted outputs never reused) — what a property-blind
+	// optimizer under the same operator costs would report. Always ≥ Cost.
+	NaiveCost float64
+}
+
+// Problem is an order-aware optimization input. EdgeAttr assigns each
+// predicate (in g.Edges() order) an attribute identity: two predicates with
+// the same attribute id join on the same underlying column, so a result
+// sorted for one is sorted for the other — the situation where carrying an
+// interesting order pays (e.g. a star schema's shared key). A nil EdgeAttr
+// gives every predicate its own attribute, in which case sorted outputs are
+// never reusable and the order-aware optimum coincides with the naive one.
+type Problem struct {
+	Cards    []float64
+	Graph    *joingraph.Graph
+	EdgeAttr []int
+}
+
+// Optimize runs the order-aware DP.
+func Optimize(p Problem, params CostParams) (*Result, error) {
+	cards, g := p.Cards, p.Graph
+	n := len(cards)
+	if n == 0 {
+		return nil, errors.New("orders: no relations")
+	}
+	if n > bitset.MaxRelations {
+		return nil, fmt.Errorf("orders: %d relations exceeds maximum %d", n, bitset.MaxRelations)
+	}
+	if g == nil {
+		return nil, errors.New("orders: a join graph is required (orders come from predicates)")
+	}
+	if g.N() != n {
+		return nil, fmt.Errorf("orders: graph covers %d relations, query has %d", g.N(), n)
+	}
+	params = params.defaults()
+	edges := g.Edges()
+	attr := p.EdgeAttr
+	if attr == nil {
+		attr = make([]int, len(edges))
+		for i := range attr {
+			attr[i] = i
+		}
+	}
+	if len(attr) != len(edges) {
+		return nil, fmt.Errorf("orders: EdgeAttr has %d entries for %d edges", len(attr), len(edges))
+	}
+	numAttrs := 0
+	for _, a := range attr {
+		if a < 0 {
+			return nil, fmt.Errorf("orders: negative attribute id %d", a)
+		}
+		if a+1 > numAttrs {
+			numAttrs = a + 1
+		}
+	}
+	numOrders := 1 + numAttrs // Unordered + one per attribute
+
+	size := 1 << uint(n)
+	// cost[s][o]: cheapest way to produce set s sorted per order o (o=0:
+	// unordered ≡ cheapest regardless of order, with no credit for sortedness).
+	costT := make([][]float64, size)
+	type choice struct {
+		lhs              bitset.Set
+		lhsOrder, rhsOrd int
+		alg              string
+		edge             int // merge edge, -1 for hash
+	}
+	choiceT := make([][]choice, size)
+	card := make([]float64, size)
+
+	inf := math.Inf(1)
+	newRow := func() []float64 {
+		row := make([]float64, numOrders)
+		for i := range row {
+			row[i] = inf
+		}
+		return row
+	}
+
+	for i := 0; i < n; i++ {
+		s := bitset.Single(i)
+		card[s] = cards[i]
+		costT[s] = newRow()
+		choiceT[s] = make([]choice, numOrders)
+		// A base relation arrives unordered for free; producing it sorted on
+		// any incident attribute costs one sort.
+		costT[s][Unordered] = 0
+		for ei, e := range edges {
+			if e.A == i || e.B == i {
+				o := 1 + attr[ei]
+				if params.sortCost(cards[i]) < costT[s][o] {
+					costT[s][o] = params.sortCost(cards[i])
+				}
+			}
+		}
+	}
+
+	states := n
+	full := bitset.Full(n)
+	for s := bitset.Set(3); s <= full; s++ {
+		if !s.SubsetOf(full) || s.IsSingleton() || s.IsEmpty() {
+			continue
+		}
+		u := s.MinSet()
+		v := s ^ u
+		card[s] = card[u] * card[v] * g.FanProduct(s)
+		costT[s] = newRow()
+		choiceT[s] = make([]choice, numOrders)
+
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			lBest := costT[l][Unordered]
+			rBest := costT[r][Unordered]
+			// Hash join: unordered output.
+			if c := lBest + rBest + params.hashCost(card[l], card[r]); c < costT[s][Unordered] {
+				costT[s][Unordered] = c
+				choiceT[s][Unordered] = choice{lhs: l, lhsOrder: Unordered, rhsOrd: Unordered, alg: "hashjoin", edge: -1}
+			}
+			// Merge join on each spanning predicate.
+			for ei, e := range edges {
+				if l.Has(e.A) && r.Has(e.B) || l.Has(e.B) && r.Has(e.A) {
+					o := 1 + attr[ei]
+					// Each input either arrives sorted on e, or arrives
+					// unordered and is sorted here.
+					lc, lo := costT[l][o], o
+					if alt := lBest + params.sortCost(card[l]); alt < lc {
+						lc, lo = alt, Unordered
+					}
+					rc, ro := costT[r][o], o
+					if alt := rBest + params.sortCost(card[r]); alt < rc {
+						rc, ro = alt, Unordered
+					}
+					total := lc + rc + params.mergeCost(card[l], card[r])
+					if total < costT[s][o] {
+						costT[s][o] = total
+						choiceT[s][o] = choice{lhs: l, lhsOrder: lo, rhsOrd: ro, alg: "mergejoin", edge: ei}
+					}
+					// A sorted result is also an (unordered-acceptable) result.
+					if total < costT[s][Unordered] {
+						costT[s][Unordered] = total
+						choiceT[s][Unordered] = choice{lhs: l, lhsOrder: lo, rhsOrd: ro, alg: "mergejoin", edge: ei}
+					}
+				}
+			}
+		}
+		for _, c := range costT[s] {
+			if !math.IsInf(c, 1) {
+				states++
+			}
+		}
+	}
+
+	if math.IsInf(costT[full][Unordered], 1) {
+		return nil, errors.New("orders: no plan found")
+	}
+
+	// Extract the plan.
+	var build func(s bitset.Set, order int) *plan.Node
+	build = func(s bitset.Set, order int) *plan.Node {
+		if s.IsSingleton() {
+			return plan.Leaf(s.Min(), card[s])
+		}
+		ch := choiceT[s][order]
+		left := build(ch.lhs, ch.lhsOrder)
+		right := build(s^ch.lhs, ch.rhsOrd)
+		alg := ch.alg
+		if ch.edge >= 0 {
+			e := edges[ch.edge]
+			alg = fmt.Sprintf("mergejoin(R%d.R%d)", e.A, e.B)
+		}
+		return &plan.Node{
+			Set:       s,
+			Card:      card[s],
+			Cost:      costT[s][order],
+			Algorithm: alg,
+			Left:      left,
+			Right:     right,
+		}
+	}
+	root := build(full, Unordered)
+
+	// Property-blind comparison: rerun with sorted outputs never reusable.
+	naive := naiveCost(cards, g, params)
+
+	return &Result{
+		Plan:      root,
+		Cost:      costT[full][Unordered],
+		States:    states,
+		NaiveCost: naive,
+	}, nil
+}
+
+// naiveCost is the optimum when intermediates are always treated as
+// unordered: merge joins always pay both sorts; hash joins unchanged. One
+// entry per set, as in plain blitzsplit.
+func naiveCost(cards []float64, g *joingraph.Graph, params CostParams) float64 {
+	n := len(cards)
+	size := 1 << uint(n)
+	costT := make([]float64, size)
+	card := make([]float64, size)
+	for i := range costT {
+		costT[i] = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		s := bitset.Single(i)
+		costT[s] = 0
+		card[s] = cards[i]
+	}
+	full := bitset.Full(n)
+	for s := bitset.Set(3); s <= full; s++ {
+		if !s.SubsetOf(full) || s.IsSingleton() || s.IsEmpty() {
+			continue
+		}
+		u := s.MinSet()
+		card[s] = card[u] * card[s^u] * g.FanProduct(s)
+		for l := s.MinSet(); l != s; l = s.NextSubset(l) {
+			r := s ^ l
+			base := costT[l] + costT[r]
+			// Hash join.
+			if c := base + params.hashCost(card[l], card[r]); c < costT[s] {
+				costT[s] = c
+			}
+			// Merge join, paying both sorts, if any predicate spans.
+			if g.SpanProduct(l, r) < 1 || hasSpanningEdge(g, l, r) {
+				c := base + params.sortCost(card[l]) + params.sortCost(card[r]) +
+					params.mergeCost(card[l], card[r])
+				if c < costT[s] {
+					costT[s] = c
+				}
+			}
+		}
+	}
+	return costT[full]
+}
+
+func hasSpanningEdge(g *joingraph.Graph, l, r bitset.Set) bool {
+	found := false
+	l.ForEach(func(i int) {
+		if g.Neighbors(i).Overlaps(r) {
+			found = true
+		}
+	})
+	return found
+}

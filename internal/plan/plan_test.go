@@ -1,0 +1,254 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+)
+
+// table1Plan builds the paper's optimal plan (A ⨯ D) ⨯ (B ⨯ C) with the
+// Table 1 annotations.
+func table1Plan() *Node {
+	ad := &Node{Set: bitset.Of(0, 3), Card: 400, Cost: 400,
+		Left: Leaf(0, 10), Right: Leaf(3, 40)}
+	bc := &Node{Set: bitset.Of(1, 2), Card: 600, Cost: 600,
+		Left: Leaf(1, 20), Right: Leaf(2, 30)}
+	return &Node{Set: bitset.Of(0, 1, 2, 3), Card: 240000, Cost: 241000,
+		Left: ad, Right: bc}
+}
+
+func TestLeaf(t *testing.T) {
+	l := Leaf(3, 40)
+	if !l.IsLeaf() || l.Rel != 3 || l.Card != 40 || l.Set != bitset.Of(3) {
+		t.Errorf("Leaf = %+v", l)
+	}
+	if l.Joins() != 0 || l.Relations() != 1 || l.Depth() != 1 {
+		t.Errorf("leaf shape accessors wrong")
+	}
+	if !l.IsLeftDeep() {
+		t.Error("leaf must count as left-deep")
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	p := table1Plan()
+	if p.Joins() != 3 {
+		t.Errorf("Joins = %d", p.Joins())
+	}
+	if p.Relations() != 4 {
+		t.Errorf("Relations = %d", p.Relations())
+	}
+	if p.Depth() != 3 {
+		t.Errorf("Depth = %d", p.Depth())
+	}
+	if p.IsLeftDeep() {
+		t.Error("bushy plan reported left-deep")
+	}
+	ld := &Node{Set: bitset.Of(0, 1, 2),
+		Left:  &Node{Set: bitset.Of(0, 1), Left: Leaf(0, 1), Right: Leaf(1, 1)},
+		Right: Leaf(2, 1)}
+	if !ld.IsLeftDeep() {
+		t.Error("vine not reported left-deep")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	p := table1Plan()
+	var sets []bitset.Set
+	p.Walk(func(n *Node) { sets = append(sets, n.Set) })
+	if len(sets) != 7 {
+		t.Fatalf("visited %d nodes", len(sets))
+	}
+	// Post-order: root last.
+	if sets[len(sets)-1] != p.Set {
+		t.Errorf("root not visited last: %v", sets)
+	}
+	// Children precede parents.
+	pos := map[bitset.Set]int{}
+	for i, s := range sets {
+		pos[s] = i
+	}
+	p.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if pos[n.Left.Set] > pos[n.Set] || pos[n.Right.Set] > pos[n.Set] {
+			t.Errorf("child visited after parent at %v", n.Set)
+		}
+	})
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := table1Plan().Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := map[string]*Node{
+		"leaf set mismatch": {Set: bitset.Of(1), Rel: 2},
+		"leaf nonzero cost": {Set: bitset.Of(1), Rel: 1, Cost: 5},
+		"leaf NaN card":     {Set: bitset.Of(0), Rel: 0, Card: math.NaN()},
+		"one child":         {Set: bitset.Of(0, 1), Left: Leaf(0, 1)},
+		"overlapping children": {Set: bitset.Of(0, 1),
+			Left: Leaf(0, 1), Right: Leaf(0, 1)},
+		"non-covering children": {Set: bitset.Of(0, 1, 2),
+			Left: Leaf(0, 1), Right: Leaf(1, 1)},
+		"cost below children": {Set: bitset.Of(0, 1), Cost: 1,
+			Left: &Node{Set: bitset.Of(0), Rel: 0, Cost: 0, Card: 1}, Right: Leaf(1, 1)},
+		"negative card": {Set: bitset.Of(0, 1), Card: -1,
+			Left: Leaf(0, 1), Right: Leaf(1, 1)},
+	}
+	// Fix: "cost below children" needs a child with positive cost.
+	cases["cost below children"] = &Node{Set: bitset.Of(0, 1, 2), Cost: 1,
+		Left: &Node{Set: bitset.Of(0, 1), Cost: 5, Card: 2,
+			Left: Leaf(0, 1), Right: Leaf(1, 2)},
+		Right: Leaf(2, 3)}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	var nilNode *Node
+	if err := nilNode.Validate(); err == nil {
+		t.Error("nil node accepted")
+	}
+}
+
+func TestRecomputeCostMatchesAnnotations(t *testing.T) {
+	p := table1Plan()
+	got := p.Clone()
+	if c := got.RecomputeCost(cost.Naive{}); c != 241000 {
+		t.Errorf("RecomputeCost = %v, want 241000", c)
+	}
+}
+
+func TestRecomputeCards(t *testing.T) {
+	// Join graph A-B with selectivity 0.1; C unconnected.
+	g := joingraph.New(3)
+	g.MustAddEdge(0, 1, 0.1)
+	p := &Node{Set: bitset.Of(0, 1, 2),
+		Left:  &Node{Set: bitset.Of(0, 1), Left: Leaf(0, 0), Right: Leaf(1, 0)},
+		Right: Leaf(2, 0)}
+	cards := []float64{10, 20, 30}
+	root := p.RecomputeCards(g, cards)
+	if want := 10 * 20 * 0.1 * 30; math.Abs(root-want) > 1e-9 {
+		t.Errorf("root card = %v, want %v", root, want)
+	}
+	if p.Left.Card != 20 { // 10·20·0.1
+		t.Errorf("AB card = %v, want 20", p.Left.Card)
+	}
+	// Nil graph: pure products.
+	root = p.RecomputeCards(nil, cards)
+	if root != 6000 {
+		t.Errorf("product card = %v, want 6000", root)
+	}
+}
+
+func TestAttachAlgorithms(t *testing.T) {
+	p := table1Plan()
+	p.AttachAlgorithms(cost.NewMin(cost.SortMerge{}, cost.NewDiskNestedLoops()))
+	p.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			if n.Algorithm != "" {
+				t.Errorf("leaf got algorithm %q", n.Algorithm)
+			}
+			return
+		}
+		if n.Algorithm != "sortmerge" && n.Algorithm != "dnl" {
+			t.Errorf("node %v algorithm %q", n.Set, n.Algorithm)
+		}
+	})
+	// Non-composite: every join labelled with the model name.
+	p2 := table1Plan()
+	p2.AttachAlgorithms(cost.Naive{})
+	p2.Walk(func(n *Node) {
+		if !n.IsLeaf() && n.Algorithm != "naive" {
+			t.Errorf("node %v algorithm %q", n.Set, n.Algorithm)
+		}
+	})
+}
+
+func TestExpression(t *testing.T) {
+	p := table1Plan()
+	got := p.Expression([]string{"A", "B", "C", "D"})
+	if got != "((A ⨝ D) ⨝ (B ⨝ C))" {
+		t.Errorf("Expression = %q", got)
+	}
+	if got := p.Expression(nil); got != "((R0 ⨝ R3) ⨝ (R1 ⨝ R2))" {
+		t.Errorf("Expression(nil) = %q", got)
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	s := table1Plan().String()
+	for _, want := range []string{"scan R0", "scan R3", "join", "card=240000", "cost=241000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEqualModuloCommutation(t *testing.T) {
+	a := table1Plan()
+	b := table1Plan()
+	// Commute the root.
+	b.Left, b.Right = b.Right, b.Left
+	if !a.Equal(b) {
+		t.Error("commuted plans not equal")
+	}
+	// A different shape is not equal.
+	c := &Node{Set: bitset.Of(0, 1, 2, 3),
+		Left:  &Node{Set: bitset.Of(0, 1), Left: Leaf(0, 10), Right: Leaf(1, 20)},
+		Right: &Node{Set: bitset.Of(2, 3), Left: Leaf(2, 30), Right: Leaf(3, 40)}}
+	if a.Equal(c) {
+		t.Error("different shapes equal")
+	}
+	if !a.Equal(a) {
+		t.Error("self not equal")
+	}
+	var nilNode *Node
+	if nilNode.Equal(a) || a.Equal(nilNode) {
+		t.Error("nil comparisons wrong")
+	}
+	if !nilNode.Equal(nilNode) {
+		t.Error("nil ≠ nil")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := table1Plan()
+	b := a.Clone()
+	b.Left.Card = 12345
+	if a.Left.Card == 12345 {
+		t.Error("Clone shares children")
+	}
+	if !a.Equal(b) {
+		t.Error("clone shape differs")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := table1Plan()
+	data, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || b.Cost != a.Cost {
+		t.Error("round trip mismatch")
+	}
+	if _, err := FromJSON([]byte(`{"set":3,"left":{"set":1,"rel":0}}`)); err == nil {
+		t.Error("invalid plan accepted")
+	}
+	if _, err := FromJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,290 @@
+// Package schema implements the second §5 extension the paper mentions but
+// does not develop: implied and redundant predicates. Join predicates are
+// declared as equalities between named relation columns with known
+// distinct-value counts; transitively equated columns form equivalence
+// classes (A.x = B.y and B.y = C.z imply A.x = C.z).
+//
+// Treating each declared predicate independently — the plain joingraph model
+// — double-counts redundant constraints: joining three relations on one
+// shared key applies two constraints, not three. Under the standard
+// uniformity + containment assumptions (a column with fewer distinct values
+// is contained in one with more), the correct class contribution to the
+// cardinality of a relation set S is
+//
+//	contribution(c, S) = dmin(c∩S) / ∏_{columns of c on relations in S} d
+//
+// (one 1/d per member column, with the smallest domain "refunded": the class
+// key ranges over dmin values). This factors over the optimizer's §5.2
+// recurrence: adding relation r = min(S) to V = S − {r} multiplies the
+// cardinality by 1/max(d_r, dmin(c∩V)) per class c that r shares with V —
+// which is what StepFactor computes, making Schema a drop-in CardEstimator
+// for the core optimizer with O(columns of min S) work per subset.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/joingraph"
+)
+
+// Column is a named join column of one relation.
+type Column struct {
+	// Rel is the owning relation's index.
+	Rel int
+	// Name is the column name, unique within the relation.
+	Name string
+	// Distinct is the number of distinct values (≥ 1).
+	Distinct float64
+}
+
+// Schema tracks join columns and the equivalence classes induced by declared
+// equi-join predicates.
+type Schema struct {
+	n      int
+	cols   []Column
+	byKey  map[colKey]int
+	parent []int // union-find over column indexes
+	// declared records the explicitly declared predicates (column index
+	// pairs), as opposed to the implied ones.
+	declared [][2]int
+}
+
+type colKey struct {
+	rel  int
+	name string
+}
+
+// New returns an empty schema over n relations.
+func New(n int) *Schema {
+	if n < 0 || n > bitset.MaxRelations {
+		panic(fmt.Sprintf("schema: n = %d out of range [0,%d]", n, bitset.MaxRelations))
+	}
+	return &Schema{n: n, byKey: make(map[colKey]int)}
+}
+
+// N returns the number of relations.
+func (s *Schema) N() int { return s.n }
+
+// AddColumn declares a join column.
+func (s *Schema) AddColumn(rel int, name string, distinct float64) error {
+	if rel < 0 || rel >= s.n {
+		return fmt.Errorf("schema: relation %d out of range [0,%d)", rel, s.n)
+	}
+	if name == "" {
+		return errors.New("schema: column name must be nonempty")
+	}
+	if !(distinct >= 1) || math.IsInf(distinct, 0) {
+		return fmt.Errorf("schema: column %d.%s distinct count %v must be ≥ 1 and finite", rel, name, distinct)
+	}
+	k := colKey{rel, name}
+	if _, dup := s.byKey[k]; dup {
+		return fmt.Errorf("schema: duplicate column %d.%s", rel, name)
+	}
+	s.byKey[k] = len(s.cols)
+	s.cols = append(s.cols, Column{Rel: rel, Name: name, Distinct: distinct})
+	s.parent = append(s.parent, len(s.parent))
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error.
+func (s *Schema) MustAddColumn(rel int, name string, distinct float64) {
+	if err := s.AddColumn(rel, name, distinct); err != nil {
+		panic(err)
+	}
+}
+
+func (s *Schema) find(i int) int {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+// Equate declares the equi-join predicate relA.colA = relB.colB, merging the
+// two columns' equivalence classes. Equating two columns of the same
+// relation is rejected (that is a local filter, not a join predicate).
+func (s *Schema) Equate(relA int, colA string, relB int, colB string) error {
+	if relA == relB {
+		return fmt.Errorf("schema: cannot equate two columns of relation %d", relA)
+	}
+	ia, ok := s.byKey[colKey{relA, colA}]
+	if !ok {
+		return fmt.Errorf("schema: unknown column %d.%s", relA, colA)
+	}
+	ib, ok := s.byKey[colKey{relB, colB}]
+	if !ok {
+		return fmt.Errorf("schema: unknown column %d.%s", relB, colB)
+	}
+	s.declared = append(s.declared, [2]int{ia, ib})
+	ra, rb := s.find(ia), s.find(ib)
+	if ra != rb {
+		s.parent[ra] = rb
+	}
+	return nil
+}
+
+// MustEquate is Equate that panics on error.
+func (s *Schema) MustEquate(relA int, colA string, relB int, colB string) {
+	if err := s.Equate(relA, colA, relB, colB); err != nil {
+		panic(err)
+	}
+}
+
+// Classes returns the equivalence classes with at least two member columns,
+// each class's columns in declaration order. Deterministic.
+func (s *Schema) Classes() [][]Column {
+	groups := map[int][]Column{}
+	var roots []int
+	for i, c := range s.cols {
+		r := s.find(i)
+		if _, seen := groups[r]; !seen {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	var out [][]Column
+	for _, r := range roots {
+		if len(groups[r]) >= 2 {
+			out = append(out, groups[r])
+		}
+	}
+	return out
+}
+
+// StepFactor implements the core optimizer's CardEstimator: the class-aware
+// multiplicative factor for adding relation r = min(set) to V = set − {r}.
+// Per equivalence class c with columns on r, the factor is
+//
+//	(∏_{r's columns in c} 1/d) · dmin(c ∩ set) / dmin(c ∩ V)
+//
+// with dmin(∅) treated as 1 in the quotient's denominator role — so a class
+// present only on r contributes its own dmin refund, and a class shared with
+// V contributes 1/max(…) in the common one-column-per-relation case.
+func (s *Schema) StepFactor(set bitset.Set) float64 {
+	r := set.Min()
+	v := set.Diff(set.MinSet())
+	// Effective domain of r per class: the minimum distinct count over r's
+	// columns in that class (several same-class columns on one relation are
+	// deduplicated — the class models a join constraint, not a local filter).
+	perClass := map[int]float64{}
+	for i, col := range s.cols {
+		if col.Rel != r {
+			continue
+		}
+		root := s.find(i)
+		if d, ok := perClass[root]; !ok || col.Distinct < d {
+			perClass[root] = col.Distinct
+		}
+	}
+	factor := 1.0
+	for root, dr := range perClass {
+		dminV := math.Inf(1)
+		for j, other := range s.cols {
+			if other.Rel != r && v.Has(other.Rel) && s.find(j) == root {
+				if other.Distinct < dminV {
+					dminV = other.Distinct
+				}
+			}
+		}
+		if math.IsInf(dminV, 1) {
+			continue // class absent from V: no new constraint
+		}
+		factor *= math.Min(dr, dminV) / (dr * dminV) // = (1/dr)·dmin(S)/dmin(V)
+	}
+	return factor
+}
+
+// JoinCardinality is the reference (non-recurrence) computation:
+// ∏ cards[i∈set] × ∏_classes contribution(c, set).
+func (s *Schema) JoinCardinality(set bitset.Set, cards []float64) float64 {
+	card := 1.0
+	set.ForEach(func(i int) { card *= cards[i] })
+	// Per (class, relation): the relation's effective domain is the minimum
+	// distinct count of its columns in the class.
+	type crKey struct{ root, rel int }
+	effective := map[crKey]float64{}
+	for i, col := range s.cols {
+		if !set.Has(col.Rel) {
+			continue
+		}
+		k := crKey{s.find(i), col.Rel}
+		if d, ok := effective[k]; !ok || col.Distinct < d {
+			effective[k] = col.Distinct
+		}
+	}
+	// Per class: contribution = dmin / ∏ per-relation effective domains,
+	// when ≥ 2 relations participate (a class on one relation constrains
+	// nothing).
+	type acc struct {
+		inv  float64
+		dmin float64
+		rels int
+	}
+	contrib := map[int]acc{}
+	for k, d := range effective {
+		a, ok := contrib[k.root]
+		if !ok {
+			a = acc{inv: 1, dmin: math.Inf(1)}
+		}
+		a.inv /= d
+		if d < a.dmin {
+			a.dmin = d
+		}
+		a.rels++
+		contrib[k.root] = a
+	}
+	for _, a := range contrib {
+		if a.rels >= 2 {
+			card *= a.inv * a.dmin
+		}
+	}
+	return card
+}
+
+// DeclaredGraph projects only the explicitly declared predicates to a binary
+// join graph, each with the textbook selectivity 1/max(dA, dB). This is what
+// a class-unaware optimizer would see; on transitive schemas it both misses
+// implied edges and (if closed naively) double-counts redundant ones.
+func (s *Schema) DeclaredGraph() (*joingraph.Graph, error) {
+	g := joingraph.New(s.n)
+	for _, p := range s.declared {
+		a, b := s.cols[p[0]], s.cols[p[1]]
+		sel := 1 / math.Max(a.Distinct, b.Distinct)
+		if g.HasEdge(a.Rel, b.Rel) {
+			continue // keep the first predicate between a relation pair
+		}
+		if err := g.AddEdge(a.Rel, b.Rel, sel); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ClosureGraph projects the transitive closure: one binary edge between every
+// relation pair sharing an equivalence class, selectivity 1/max of the two
+// column domains. Connectivity-faithful (useful for no-Cartesian-product
+// baselines), but cardinality estimates from it over-apply redundant
+// predicates — use the Schema itself as the optimizer's estimator for
+// correct numbers.
+func (s *Schema) ClosureGraph() (*joingraph.Graph, error) {
+	g := joingraph.New(s.n)
+	classes := s.Classes()
+	for _, cls := range classes {
+		for i := 0; i < len(cls); i++ {
+			for j := i + 1; j < len(cls); j++ {
+				a, b := cls[i], cls[j]
+				if a.Rel == b.Rel || g.HasEdge(a.Rel, b.Rel) {
+					continue
+				}
+				if err := g.AddEdge(a.Rel, b.Rel, 1/math.Max(a.Distinct, b.Distinct)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

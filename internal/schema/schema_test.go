@@ -1,0 +1,262 @@
+package schema
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func TestAddColumnValidation(t *testing.T) {
+	s := New(2)
+	if err := s.AddColumn(-1, "x", 10); err == nil {
+		t.Error("bad relation accepted")
+	}
+	if err := s.AddColumn(0, "", 10); err == nil {
+		t.Error("empty name accepted")
+	}
+	for _, d := range []float64{0, 0.5, -2, math.Inf(1), math.NaN()} {
+		if err := s.AddColumn(0, "x", d); err == nil {
+			t.Errorf("distinct %v accepted", d)
+		}
+	}
+	if err := s.AddColumn(0, "x", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddColumn(0, "x", 20); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if s.N() != 2 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestEquateValidation(t *testing.T) {
+	s := New(3)
+	s.MustAddColumn(0, "k", 10)
+	s.MustAddColumn(1, "k", 20)
+	s.MustAddColumn(0, "k2", 5)
+	if err := s.Equate(0, "k", 0, "k2"); err == nil {
+		t.Error("same-relation equate accepted")
+	}
+	if err := s.Equate(0, "k", 2, "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := s.Equate(0, "nope", 1, "k"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := s.Equate(0, "k", 1, "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassesTransitive(t *testing.T) {
+	s := New(3)
+	s.MustAddColumn(0, "x", 100)
+	s.MustAddColumn(1, "y", 50)
+	s.MustAddColumn(2, "z", 200)
+	s.MustAddColumn(2, "w", 7) // unequated: not a class
+	s.MustEquate(0, "x", 1, "y")
+	s.MustEquate(1, "y", 2, "z")
+	classes := s.Classes()
+	if len(classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(classes))
+	}
+	if len(classes[0]) != 3 {
+		t.Fatalf("class size = %d, want 3 (transitive closure)", len(classes[0]))
+	}
+}
+
+// TestJoinCardinalityWorkedExample: A.x = B.y = C.z with domains 100/50/200
+// and cardinalities 1000/500/2000. Under containment, the class key ranges
+// over 50 values: |A⋈B⋈C| = 1000·500·2000 · 50/(100·50·200).
+func TestJoinCardinalityWorkedExample(t *testing.T) {
+	s := New(3)
+	s.MustAddColumn(0, "x", 100)
+	s.MustAddColumn(1, "y", 50)
+	s.MustAddColumn(2, "z", 200)
+	s.MustEquate(0, "x", 1, "y")
+	s.MustEquate(1, "y", 2, "z")
+	cards := []float64{1000, 500, 2000}
+	got := s.JoinCardinality(bitset.Of(0, 1, 2), cards)
+	want := 1000.0 * 500 * 2000 * 50 / (100 * 50 * 200)
+	if relDiff(got, want) > 1e-12 {
+		t.Errorf("card = %v, want %v", got, want)
+	}
+	// Pairwise: |A⋈B| = 1000·500/max(100,50).
+	if got := s.JoinCardinality(bitset.Of(0, 1), cards); relDiff(got, 1000*500/100.0) > 1e-12 {
+		t.Errorf("|A⋈B| = %v", got)
+	}
+	// A alone: no constraint.
+	if got := s.JoinCardinality(bitset.Of(0), cards); got != 1000 {
+		t.Errorf("|A| = %v", got)
+	}
+	// A × C: both in the class… x and z are transitively equal, so the
+	// implied predicate A.x = C.z applies: 1000·2000/max(100,200).
+	if got := s.JoinCardinality(bitset.Of(0, 2), cards); relDiff(got, 1000*2000/200.0) > 1e-12 {
+		t.Errorf("|A⋈C| (implied) = %v", got)
+	}
+}
+
+// TestStepFactorMatchesReference: the recurrence card(S) =
+// card(U)·card(V)·StepFactor(S) reproduces JoinCardinality on random schemas.
+func TestStepFactorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(7)
+		s := randomSchema(rng, n)
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = math.Floor(10 + rng.Float64()*1000)
+		}
+		full := bitset.Full(n)
+		card := make([]float64, 1<<uint(n))
+		for i := 0; i < n; i++ {
+			card[bitset.Single(i)] = cards[i]
+		}
+		for set := bitset.Set(3); set <= full; set++ {
+			if !set.SubsetOf(full) || set.IsSingleton() || set.IsEmpty() {
+				continue
+			}
+			u := set.MinSet()
+			v := set ^ u
+			card[set] = card[u] * card[v] * s.StepFactor(set)
+			want := s.JoinCardinality(set, cards)
+			if relDiff(card[set], want) > 1e-9 {
+				t.Fatalf("trial %d S=%v: recurrence %v ≠ reference %v", trial, set, card[set], want)
+			}
+		}
+	}
+}
+
+func randomSchema(rng *rand.Rand, n int) *Schema {
+	s := New(n)
+	// Up to 3 columns per relation.
+	for r := 0; r < n; r++ {
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			s.MustAddColumn(r, colName(c), math.Floor(2+rng.Float64()*500))
+		}
+	}
+	// Random equates between distinct relations' existing columns.
+	for i := 0; i < 2*n; i++ {
+		ra, rb := rng.Intn(n), rng.Intn(n)
+		if ra == rb {
+			continue
+		}
+		ca, cb := colName(rng.Intn(3)), colName(rng.Intn(3))
+		// Ignore errors for columns that don't exist on that relation.
+		_ = s.Equate(ra, ca, rb, cb)
+	}
+	return s
+}
+
+func colName(i int) string { return string(rune('a' + i)) }
+
+// TestRedundantPredicateNotDoubleCounted: the key point of the extension.
+// Declaring all three pairwise predicates of a shared key must give the same
+// cardinality as declaring two (the third is redundant), whereas a naive
+// pairwise graph would apply three factors.
+func TestRedundantPredicateNotDoubleCounted(t *testing.T) {
+	build := func(predicates [][4]interface{}) *Schema {
+		s := New(3)
+		s.MustAddColumn(0, "k", 100)
+		s.MustAddColumn(1, "k", 100)
+		s.MustAddColumn(2, "k", 100)
+		for _, p := range predicates {
+			s.MustEquate(p[0].(int), p[1].(string), p[2].(int), p[3].(string))
+		}
+		return s
+	}
+	two := build([][4]interface{}{{0, "k", 1, "k"}, {1, "k", 2, "k"}})
+	three := build([][4]interface{}{{0, "k", 1, "k"}, {1, "k", 2, "k"}, {0, "k", 2, "k"}})
+	cards := []float64{1e4, 1e4, 1e4}
+	full := bitset.Of(0, 1, 2)
+	a := two.JoinCardinality(full, cards)
+	b := three.JoinCardinality(full, cards)
+	if relDiff(a, b) > 1e-12 {
+		t.Errorf("redundant predicate changed the estimate: %v vs %v", a, b)
+	}
+	// Correct value: 1e12 / 100².
+	if want := 1e12 / 1e4; relDiff(a, want) > 1e-12 {
+		t.Errorf("class-aware estimate %v, want %v", a, want)
+	}
+	// The naive closure graph applies 1/100 three times: 1e12/1e6 — a 100×
+	// underestimate. Verify the graphs differ as documented.
+	g, err := three.ClosureGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := g.JoinCardinality(full, cards)
+	if relDiff(naive, 1e12/1e6) > 1e-12 {
+		t.Errorf("naive closure estimate = %v, want %v", naive, 1e12/1e6)
+	}
+}
+
+func TestDeclaredAndClosureGraphs(t *testing.T) {
+	s := New(3)
+	s.MustAddColumn(0, "x", 100)
+	s.MustAddColumn(1, "y", 50)
+	s.MustAddColumn(2, "z", 200)
+	s.MustEquate(0, "x", 1, "y")
+	s.MustEquate(1, "y", 2, "z")
+	dg, err := s.DeclaredGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.NumEdges() != 2 {
+		t.Errorf("declared edges = %d, want 2", dg.NumEdges())
+	}
+	if dg.HasEdge(0, 2) {
+		t.Error("declared graph contains the implied edge")
+	}
+	cg, err := s.ClosureGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumEdges() != 3 {
+		t.Errorf("closure edges = %d, want 3", cg.NumEdges())
+	}
+	if !cg.HasEdge(0, 2) {
+		t.Error("closure graph missing the implied edge")
+	}
+	if got := cg.Selectivity(0, 2); got != 1.0/200 {
+		t.Errorf("implied selectivity = %v, want 1/200", got)
+	}
+	// Duplicate declared predicates between the same pair collapse.
+	s2 := New(2)
+	s2.MustAddColumn(0, "a", 10)
+	s2.MustAddColumn(1, "a", 10)
+	s2.MustAddColumn(0, "b", 99)
+	s2.MustAddColumn(1, "b", 99)
+	s2.MustEquate(0, "a", 1, "a")
+	s2.MustEquate(0, "b", 1, "b")
+	dg2, err := s2.DeclaredGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg2.NumEdges() != 1 {
+		t.Errorf("pairwise projection edges = %d, want 1 (first predicate kept)", dg2.NumEdges())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

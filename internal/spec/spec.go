@@ -1,0 +1,111 @@
+// Package spec defines the on-disk JSON format for join-order optimization
+// problems consumed by the command-line tools: a list of relations with
+// cardinalities plus a list of equi-join predicates with selectivities.
+//
+//	{
+//	  "relations": [
+//	    {"name": "customer", "cardinality": 150000},
+//	    {"name": "orders",   "cardinality": 1500000}
+//	  ],
+//	  "joins": [
+//	    {"a": "customer", "b": "orders", "selectivity": 6.7e-6}
+//	  ]
+//	}
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"blitzsplit/internal/catalog"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/joingraph"
+)
+
+// Join is one equi-join predicate in a spec file.
+type Join struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// File is a parsed query spec.
+type File struct {
+	Relations []catalog.Relation `json:"relations"`
+	Joins     []Join             `json:"joins,omitempty"`
+}
+
+// Parse decodes and validates a spec.
+func Parse(data []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if len(f.Relations) == 0 {
+		return nil, errors.New("spec: no relations")
+	}
+	if _, _, err := f.Query(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and parses a spec file from disk.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Query materializes the spec into the optimizer's input representation,
+// returning the query and the relation names in index order.
+func (f *File) Query() (core.Query, []string, error) {
+	cat, err := catalog.FromRelations(f.Relations)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	var g *joingraph.Graph
+	if len(f.Joins) > 0 {
+		g = joingraph.New(cat.Len())
+		for _, j := range f.Joins {
+			ai, ok := cat.Index(j.A)
+			if !ok {
+				return core.Query{}, nil, fmt.Errorf("spec: join references unknown relation %q", j.A)
+			}
+			bi, ok := cat.Index(j.B)
+			if !ok {
+				return core.Query{}, nil, fmt.Errorf("spec: join references unknown relation %q", j.B)
+			}
+			if err := g.AddEdge(ai, bi, j.Selectivity); err != nil {
+				return core.Query{}, nil, err
+			}
+		}
+	}
+	return core.Query{Cards: cat.Cardinalities(), Graph: g}, cat.Names(), nil
+}
+
+// Example returns a small self-describing sample spec (the paper's Figure-3
+// query shape with plausible numbers), used by `blitzsplit -example`.
+func Example() *File {
+	return &File{
+		Relations: []catalog.Relation{
+			{Name: "A", Cardinality: 1000},
+			{Name: "B", Cardinality: 5000},
+			{Name: "C", Cardinality: 200},
+			{Name: "D", Cardinality: 80000},
+		},
+		Joins: []Join{
+			{A: "A", B: "B", Selectivity: 0.001},
+			{A: "A", B: "C", Selectivity: 0.005},
+			{A: "B", B: "C", Selectivity: 0.002},
+			{A: "A", B: "D", Selectivity: 0.0001},
+		},
+	}
+}

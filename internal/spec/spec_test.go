@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	data := []byte(`{
+		"relations": [
+			{"name": "A", "cardinality": 10},
+			{"name": "B", "cardinality": 20}
+		],
+		"joins": [{"a": "A", "b": "B", "selectivity": 0.5}]
+	}`)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, names, err := f.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Cards) != 2 || q.Cards[1] != 20 {
+		t.Errorf("cards = %v", q.Cards)
+	}
+	if names[0] != "A" || names[1] != "B" {
+		t.Errorf("names = %v", names)
+	}
+	if q.Graph == nil || q.Graph.Selectivity(0, 1) != 0.5 {
+		t.Error("graph wrong")
+	}
+}
+
+func TestParseNoJoins(t *testing.T) {
+	f, err := Parse([]byte(`{"relations":[{"name":"X","cardinality":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := f.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Graph != nil {
+		t.Error("expected nil graph for a product query")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          `nope`,
+		"unknown field":    `{"relations":[{"name":"A","cardinality":1}],"bogus":1}`,
+		"no relations":     `{"joins":[]}`,
+		"dup relation":     `{"relations":[{"name":"A","cardinality":1},{"name":"A","cardinality":2}]}`,
+		"unknown join rel": `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"Z","selectivity":0.5}]}`,
+		"unknown join a":   `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"Z","b":"A","selectivity":0.5}]}`,
+		"bad selectivity":  `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":7}]}`,
+		"self join":        `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"A","selectivity":0.5}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.json")
+	data, err := json.Marshal(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Relations) != 4 || len(f.Joins) != 4 {
+		t.Errorf("example shape: %d relations, %d joins", len(f.Relations), len(f.Joins))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestExampleIsValid(t *testing.T) {
+	data, err := json.Marshal(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Errorf("example spec invalid: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package workload generates the deterministic evaluation inputs of the
+// paper's §6 and Appendix: base-relation cardinality ladders parameterized by
+// (geometric mean, variability), the four join-graph topologies with the
+// Appendix selectivity formula, and the exact case grids behind each figure —
+// Figure 2 (Cartesian products vs n), Figures 4/5 (the 4-dimensional
+// sensitivity sweep at n = 15) and Figure 6 (plan-cost thresholds).
+package workload
+
+import (
+	"fmt"
+
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/stats"
+)
+
+// DefaultN is the paper's evaluation size: all §6 measurements fix n = 15.
+const DefaultN = 15
+
+// Case is one evaluation point: a fully instantiated query plus the
+// optimizer configuration it is to be measured under.
+type Case struct {
+	// Name identifies the case in reports, e.g.
+	// "fig4/dnl/star/mean=100/var=0.25".
+	Name string
+	// N is the number of base relations.
+	N int
+	// Cards are the base-relation cardinalities.
+	Cards []float64
+	// Graph is the join graph; nil for pure Cartesian-product cases.
+	Graph *joingraph.Graph
+	// Model is the cost model to optimize under.
+	Model cost.Model
+	// Topology records which Appendix topology built Graph (meaningful only
+	// when Graph is non-nil and the case came from an Appendix grid).
+	Topology joingraph.Topology
+	// MeanCard and Variability are the Appendix cardinality parameters.
+	MeanCard    float64
+	Variability float64
+	// Threshold is the §6.4 plan-cost threshold; 0 means none.
+	Threshold float64
+}
+
+// MeanCardGrid returns the Appendix mean-cardinality axis: logarithmic
+// samples 1, 4.64, 21.5, 100, 464, … up to 10^6 (10 points — the paper's
+// footnote 6 lists exactly this progression).
+func MeanCardGrid() []float64 { return stats.LogGrid(1, 1e6, 10) }
+
+// VariabilityGrid returns the variability axis 0, 0.25, 0.5, 0.75, 1.
+func VariabilityGrid() []float64 { return stats.LinGrid(0, 1, 5) }
+
+// CartesianCase builds a pure Cartesian-product optimization problem over n
+// relations of equal cardinality card (the §4.3 measurement setup).
+func CartesianCase(n int, card float64) Case {
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = card
+	}
+	return Case{
+		Name:     fmt.Sprintf("cartesian/n=%d", n),
+		N:        n,
+		Cards:    cards,
+		Model:    cost.Naive{},
+		MeanCard: card,
+	}
+}
+
+// AppendixCase builds one point of the §6 evaluation: topology, cost model,
+// mean cardinality, and variability, at the given n (the paper fixes
+// n = DefaultN).
+func AppendixCase(topo joingraph.Topology, model cost.Model, mean, variability float64, n int) Case {
+	cards := joingraph.CardinalityLadder(n, mean, variability)
+	g := joingraph.Build(topo.Edges(n), cards)
+	return Case{
+		Name: fmt.Sprintf("%s/%s/mean=%.3g/var=%.2f",
+			model.Name(), topo, mean, variability),
+		N:           n,
+		Cards:       cards,
+		Graph:       g,
+		Model:       model,
+		Topology:    topo,
+		MeanCard:    mean,
+		Variability: variability,
+	}
+}
+
+// Figure2Cases returns the Cartesian-product timing sweep of Figure 2:
+// equal-cardinality products for n = minN … maxN. The cardinality is 10 so
+// that even the 30-way product (10³⁰) stays under the float32 overflow limit
+// that the optimizer mirrors from the paper (§6.3) — under κ0 the timing is
+// insensitive to the cardinality anyway; the figure's shape is pure
+// enumeration cost.
+func Figure2Cases(minN, maxN int) []Case {
+	var out []Case
+	for n := minN; n <= maxN; n++ {
+		c := CartesianCase(n, 10)
+		c.Name = fmt.Sprintf("fig2/n=%d", n)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Figure4Cases returns the full 4-dimensional grid of Figure 4 at the given
+// n: {κ0, κsm, κdnl} × {chain, cycle+3, star, clique} × MeanCardGrid ×
+// VariabilityGrid — 3·4·10·5 = 600 cases at the paper's resolution.
+func Figure4Cases(n int) []Case {
+	var out []Case
+	for _, model := range cost.PaperModels() {
+		for _, topo := range joingraph.AllTopologies {
+			for _, mean := range MeanCardGrid() {
+				for _, v := range VariabilityGrid() {
+					c := AppendixCase(topo, model, mean, v, n)
+					c.Name = "fig4/" + c.Name
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Figure5Cases returns the two close-up cells of Figure 5: (κ0, chain) and
+// (κdnl, cycle+3), over the full mean × variability grid.
+func Figure5Cases(n int) []Case {
+	var out []Case
+	cells := []struct {
+		model cost.Model
+		topo  joingraph.Topology
+	}{
+		{cost.Naive{}, joingraph.TopoChain},
+		{cost.NewDiskNestedLoops(), joingraph.TopoCyclePlus3},
+	}
+	for _, cell := range cells {
+		for _, mean := range MeanCardGrid() {
+			for _, v := range VariabilityGrid() {
+				c := AppendixCase(cell.topo, cell.model, mean, v, n)
+				c.Name = "fig5/" + c.Name
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Figure6Cases returns the plan-cost-threshold experiments of Figure 6:
+// (a) κ0 on the chain with threshold 10⁹, and (b) κdnl on cycle+3 with
+// thresholds 10⁵ and 10¹⁴, over the full mean × variability grid.
+func Figure6Cases(n int) []Case {
+	var out []Case
+	cells := []struct {
+		model     cost.Model
+		topo      joingraph.Topology
+		threshold float64
+		label     string
+	}{
+		{cost.Naive{}, joingraph.TopoChain, 1e9, "a/th=1e9"},
+		{cost.NewDiskNestedLoops(), joingraph.TopoCyclePlus3, 1e5, "b/th=1e5"},
+		{cost.NewDiskNestedLoops(), joingraph.TopoCyclePlus3, 1e14, "b/th=1e14"},
+	}
+	for _, cell := range cells {
+		for _, mean := range MeanCardGrid() {
+			for _, v := range VariabilityGrid() {
+				c := AppendixCase(cell.topo, cell.model, mean, v, n)
+				c.Threshold = cell.threshold
+				c.Name = fmt.Sprintf("fig6/%s/%s/mean=%.3g/var=%.2f", cell.label, cell.topo, mean, v)
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Table1Case is the paper's worked 4-relation example.
+func Table1Case() Case {
+	c := CartesianCase(4, 0)
+	c.Cards = []float64{10, 20, 30, 40}
+	c.Name = "table1"
+	c.MeanCard = stats.GeometricMean(c.Cards)
+	return c
+}

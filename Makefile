@@ -1,0 +1,27 @@
+# Pre-merge gate and common developer targets. `make ci` is the check to run
+# before merging (README "Testing"): vet + build + full tests + the
+# parallel-fill cross-checks under the race detector.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-parallel
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The rank-layer parallel fill is the only concurrent code in the module;
+# exercise its cross-check tests with -race on every merge.
+race:
+	$(GO) test -race -run 'Parallel' ./internal/core/...
+
+# Regenerate the numbers behind BENCH_parallel.json (see EXPERIMENTS.md).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'ParallelFill' -benchtime=3x ./internal/core/

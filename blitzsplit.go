@@ -184,6 +184,21 @@ func WithLeftDeep() Option {
 	}
 }
 
+// WithParallelism fills the DP table with w parallel workers. The table's
+// rank layers (subsets of equal popcount) depend only on lower layers, so
+// each layer is partitioned across workers; plans, costs and counters are
+// bit-identical to the default serial fill. 0 restores the serial fill;
+// values beyond runtime.GOMAXPROCS add no speedup.
+func WithParallelism(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return errors.New("blitzsplit: parallelism must be ≥ 0")
+		}
+		c.opts.Parallelism = w
+		return nil
+	}
+}
+
 // WithCostThreshold enables §6.4 plan-cost-threshold pruning: plans costing
 // more than threshold are summarily rejected, and optimization retries with
 // a 1000× larger threshold whenever a pass finds no plan. Queries with cheap
@@ -251,6 +266,9 @@ func (q *Query) Optimize(options ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The facade result never exposes the DP table; drop it eagerly rather
+	// than letting 2^n-element columns ride along until the next GC.
+	cfg.opts.DiscardTable = true
 	res, err := core.Optimize(cq, cfg.opts)
 	if err != nil {
 		return nil, err
@@ -313,6 +331,7 @@ func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*
 			return nil, err
 		}
 	}
+	cfg.opts.DiscardTable = true
 	res, err := core.Optimize(core.Query{Cards: cards, Estimator: est}, cfg.opts)
 	if err != nil {
 		return nil, err

@@ -11,13 +11,15 @@
 //	blitzbench -exp joinvscp           # §6.2: 15-way joins vs 15-way products
 //	blitzbench -exp ablate             # implementation-trick ablations
 //	blitzbench -exp baselines          # blitzsplit vs Selinger/no-CP/stochastic
+//	blitzbench -exp parallel           # rank-layer parallel fill: speedup vs workers
 //	blitzbench -exp all                # everything above
 //
 // Flags:
 //
 //	-n int          relation count for the sweeps (default 15, the paper's)
 //	-budget dur     minimum wall time per measured point (default 200ms)
-//	-maxn int       top n for fig2 (default 15)
+//	-maxn int       top n for fig2 and the parallel experiment (default 15)
+//	-parallel int   optimizer worker count for every experiment (0 = serial)
 //	-csv path       also write raw measurements as CSV
 //	-quiet          suppress per-case progress lines
 package main
@@ -35,9 +37,10 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
-	maxN := fs.Int("maxn", 15, "largest n for fig2")
+	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
+	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
 	budget := fs.Duration("budget", 200*time.Millisecond, "minimum wall time per measured point")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress")
@@ -53,11 +56,12 @@ func main() {
 		progress = nil
 	}
 	cfg := bench.Config{
-		N:        *n,
-		MaxN:     *maxN,
-		Budget:   *budget,
-		Progress: progress,
-		Out:      os.Stdout,
+		N:           *n,
+		MaxN:        *maxN,
+		Budget:      *budget,
+		Progress:    progress,
+		Out:         os.Stdout,
+		Parallelism: *parallel,
 	}
 	var err error
 	for _, name := range strings.Split(*exp, ",") {

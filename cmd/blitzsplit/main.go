@@ -11,6 +11,7 @@
 //
 //	-model name      cost model: naive | sortmerge | dnl | hash | min(a,b,…)
 //	-leftdeep        restrict the search to left-deep vines
+//	-parallel w      fill the DP table with w parallel workers (0 = serial)
 //	-threshold v     plan-cost threshold (§6.4); re-optimizes ×1000 on failure
 //	-algorithms      annotate joins with the winning algorithm (min models)
 //	-json            emit the plan as JSON instead of the ASCII tree
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("blitzsplit", flag.ContinueOnError)
 	modelName := fs.String("model", "naive", "cost model (naive | sortmerge | dnl | hash | min(a,b,…))")
 	leftDeep := fs.Bool("leftdeep", false, "restrict search to left-deep vines")
+	parallel := fs.Int("parallel", 0, "DP fill worker count (0 = serial)")
 	threshold := fs.Float64("threshold", 0, "plan-cost threshold (0 = disabled)")
 	algorithms := fs.Bool("algorithms", false, "annotate joins with the winning physical algorithm")
 	asJSON := fs.Bool("json", false, "emit the plan as JSON")
@@ -82,7 +84,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Model: model, LeftDeep: *leftDeep, CostThreshold: *threshold}
+	opts := core.Options{Model: model, LeftDeep: *leftDeep, CostThreshold: *threshold, Parallelism: *parallel}
 	start := time.Now()
 	res, err := core.Optimize(q, opts)
 	if err != nil {

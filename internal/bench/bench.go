@@ -34,6 +34,10 @@ type Config struct {
 	Progress io.Writer
 	// Out receives the rendered reports.
 	Out io.Writer
+	// Parallelism is the optimizer worker count applied to every measured
+	// case (0 = the paper's serial fill). The parallel experiment sweeps
+	// its own worker counts and ignores this.
+	Parallelism int
 }
 
 func (c Config) n() int {
@@ -57,9 +61,19 @@ func (c Config) out() io.Writer {
 	return c.Out
 }
 
+// stamp applies the config's worker count to a batch of cases.
+func (c Config) stamp(cases []workload.Case) []workload.Case {
+	if c.Parallelism != 0 {
+		for i := range cases {
+			cases[i].Parallelism = c.Parallelism
+		}
+	}
+	return cases
+}
+
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -98,6 +112,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Hybrid(cfg)
 	case "orders":
 		err = Orders(cfg)
+	case "parallel":
+		err = Parallel(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}
@@ -214,7 +230,7 @@ func Table1(cfg Config) error {
 // Figure2 measures Cartesian-product optimization time against n and fits
 // formula (3).
 func Figure2(cfg Config) ([]harness.Measurement, error) {
-	ms := harness.MeasureAll(workload.Figure2Cases(2, cfg.maxN()), cfg.Budget, cfg.Progress)
+	ms := harness.MeasureAll(cfg.stamp(workload.Figure2Cases(2, cfg.maxN())), cfg.Budget, cfg.Progress)
 	harness.ReportFigure2(cfg.out(), ms)
 	return ms, nil
 }
@@ -222,7 +238,7 @@ func Figure2(cfg Config) ([]harness.Measurement, error) {
 // Figure4 runs the full 4-dimensional sweep (600 points at the paper's
 // resolution) and renders the 3×4 array of cells.
 func Figure4(cfg Config) ([]harness.Measurement, error) {
-	ms := harness.MeasureAll(workload.Figure4Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	ms := harness.MeasureAll(cfg.stamp(workload.Figure4Cases(cfg.n())), cfg.Budget, cfg.Progress)
 	harness.ReportGrid(cfg.out(),
 		"Figure 4 — optimization-time sensitivity at n=15 (paper: κ0 in 0.6–1.1 s on HP-755; "+
 			"degradation as mean card → 1; clique > star > cycle+3 ≳ chain)", ms)
@@ -231,7 +247,7 @@ func Figure4(cfg Config) ([]harness.Measurement, error) {
 
 // Figure5 runs the two close-up cells of Figure 5.
 func Figure5(cfg Config) ([]harness.Measurement, error) {
-	ms := harness.MeasureAll(workload.Figure5Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	ms := harness.MeasureAll(cfg.stamp(workload.Figure5Cases(cfg.n())), cfg.Budget, cfg.Progress)
 	harness.ReportGrid(cfg.out(), "Figure 5 — close-ups: (κ0, chain) and (κdnl, cycle+3)", ms)
 	return ms, nil
 }
@@ -239,7 +255,7 @@ func Figure5(cfg Config) ([]harness.Measurement, error) {
 // Figure6 runs the plan-cost-threshold experiments; multi-pass cells are the
 // paper's "ripples".
 func Figure6(cfg Config) ([]harness.Measurement, error) {
-	ms := harness.MeasureAll(workload.Figure6Cases(cfg.n()), cfg.Budget, cfg.Progress)
+	ms := harness.MeasureAll(cfg.stamp(workload.Figure6Cases(cfg.n())), cfg.Budget, cfg.Progress)
 	harness.ReportGrid(cfg.out(),
 		"Figure 6 — plan-cost thresholds (paper: κ0/chain@1e9 settles to ~0.1 s on HP-755; "+
 			"κdnl thresholds show re-optimization ripples, flagged *N below)", ms)
@@ -285,7 +301,7 @@ func Counts(cfg Config) error {
 // threshold that still prunes), or 0 if optimization fails.
 func optimalCostTimes(c workload.Case, factor float64) float64 {
 	res, err := core.Optimize(core.Query{Cards: c.Cards, Graph: c.Graph},
-		core.Options{Model: c.Model})
+		core.Options{Model: c.Model, DiscardTable: true})
 	if err != nil {
 		return 0
 	}
@@ -340,13 +356,14 @@ func Ablations(cfg Config) error {
 	fmt.Fprintf(w, "Ablations on (κdnl, cycle+3, mean=464, var=0.5, n=%d)\n", n)
 	fmt.Fprintf(w, "%-36s %10s %14s %14s %12s\n", "variant", "seconds", "loop iters", "κ″ evals", "plan cost")
 	var baseCost float64
+	tbl := core.NewTable(n, true, c.Model)
 	for i, v := range variants {
 		start := time.Now()
 		runs := 0
 		var res *core.Result
 		var err error
 		for time.Since(start) < cfg.Budget || runs == 0 {
-			res, err = core.Optimize(q, v.opts)
+			res, err = core.OptimizeWith(tbl, q, v.opts)
 			runs++
 			if err != nil {
 				return err

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/harness"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/workload"
+)
+
+// parallelWorkerSweep is the worker-count axis of the parallel experiment.
+var parallelWorkerSweep = []int{1, 2, 4, 8}
+
+// Parallel measures the rank-layer parallel fill: wall time and speedup vs
+// the serial fill as the worker count grows, on (a) an n-way Cartesian
+// product under κ0 — the pure-enumeration workload of Figure 2, where the
+// 3^n split loop dominates — and (b) the clique under κdnl at the paper's
+// n = 15, where κ″ arithmetic rides along. It also cross-checks that every
+// parallel run returns the same cost and merged counter totals as the
+// serial run (the bit-identity contract), flagging any divergence in the
+// report. The Cartesian size comes from cfg.MaxN, the clique size from
+// cfg.N; speedups are meaningful only when GOMAXPROCS exceeds 1.
+func Parallel(cfg Config) error {
+	w := cfg.out()
+	cpN := cfg.maxN()
+	cliqueN := cfg.n()
+	fmt.Fprintf(w, "Parallel rank-layer fill — speedup vs workers (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "(bit-identity: every parallel run must match the serial cost and counter totals)")
+
+	cases := []workload.Case{
+		workload.CartesianCase(cpN, 10),
+		workload.AppendixCase(joingraph.TopoClique, cost.NewDiskNestedLoops(), 464, 0.5, cliqueN),
+	}
+	for _, base := range cases {
+		serial := base
+		serial.Name = base.Name + "/serial"
+		sm := harness.Measure(serial, cfg.Budget)
+		if sm.Err != nil {
+			return fmt.Errorf("bench: parallel experiment serial baseline: %w", sm.Err)
+		}
+		fmt.Fprintf(w, "\n[%s]\n", base.Name)
+		fmt.Fprintf(w, "%10s %12s %10s %10s\n", "workers", "seconds", "speedup", "identical")
+		fmt.Fprintf(w, "%10s %12.6f %10s %10s\n", "serial", sm.Seconds, "1.00", "-")
+		for _, workers := range parallelWorkerSweep {
+			c := base
+			c.Name = fmt.Sprintf("%s/workers=%d", base.Name, workers)
+			c.Parallelism = workers
+			m := harness.Measure(c, cfg.Budget)
+			if m.Err != nil {
+				fmt.Fprintf(w, "%10d ERROR %v\n", workers, m.Err)
+				continue
+			}
+			identical := m.Cost == sm.Cost && reflect.DeepEqual(m.Counters, sm.Counters)
+			fmt.Fprintf(w, "%10d %12.6f %10.2f %10v\n",
+				workers, m.Seconds, harness.Speedup(m.Seconds, sm.Seconds), identical)
+		}
+	}
+	return nil
+}

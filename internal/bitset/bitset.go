@@ -186,6 +186,100 @@ func (s Set) NextSubsetStride(cur Set, stride int) Set {
 	return next
 }
 
+// FirstKSubset returns the numerically smallest set of exactly k relations,
+// {0, 1, …, k−1} — the starting point of the Gosper enumeration over a
+// popcount rank layer. k = 0 yields the empty set.
+func FirstKSubset(k int) Set {
+	if k < 0 || k > MaxRelations {
+		panic(fmt.Sprintf("bitset: subset size %d out of range [0,%d]", k, MaxRelations))
+	}
+	return Set(1)<<uint(k) - 1
+}
+
+// LastKSubset returns the numerically largest k-subset of {0, …, n−1}: the k
+// top bits of an n-bit universe. It is the Gosper enumeration's stopping
+// value. k = 0 yields the empty set.
+func LastKSubset(n, k int) Set {
+	if k < 0 || k > n || n > MaxRelations {
+		panic(fmt.Sprintf("bitset: k-subset bounds (n=%d, k=%d) out of range", n, k))
+	}
+	return (Set(1)<<uint(k) - 1) << uint(n-k)
+}
+
+// NextKSubset returns the numerically next set with the same popcount as v —
+// Gosper's hack. Starting from FirstKSubset(k) it enumerates every k-subset
+// of {0, …, n−1} in ascending numeric order; after LastKSubset(n, k) the
+// returned value has bits at positions ≥ n, which is the caller's stopping
+// condition. The empty set maps to itself. The enumeration order matters to
+// the optimizer only in that it is fixed: within a popcount rank layer the DP
+// entries are independent, so any deterministic order yields identical
+// tables.
+func NextKSubset(v Set) Set {
+	if v == 0 {
+		return 0
+	}
+	c := v & -v  // lowest set bit
+	r := v + c   // ripple it into the next run
+	// (v ^ r) isolates the changed bits; shifting by 2 and dividing by c
+	// right-justifies the ones that fell out of the run.
+	return r | ((v^r)>>2)/c
+}
+
+// Binomial returns C(n, k), the number of k-subsets of an n-set. It is exact
+// for every n ≤ MaxRelations (far below uint64 overflow).
+func Binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := uint64(1)
+	for i := 1; i <= k; i++ {
+		out = out * uint64(n-k+i) / uint64(i)
+	}
+	return out
+}
+
+// AppendKSubsetRange appends to dst the first member of each chunk of
+// `chunk` consecutive k-subsets of {0, …, n−1} in Gosper order and returns
+// the extended slice: chunk i covers the k-subsets from element i to just
+// before element i+1 (the final chunk holds the remainder,
+// Binomial(n,k) − (len−1)·chunk subsets). The parallel fill hands chunks to
+// workers by striding this slice, so reusing dst across layers keeps the
+// schedule allocation-free in steady state. k = 0 appends a single chunk
+// holding the empty set; k > n appends nothing.
+func AppendKSubsetRange(dst []Set, n, k, chunk int) []Set {
+	if n < 0 || n > MaxRelations {
+		panic(fmt.Sprintf("bitset: universe size %d out of range [0,%d]", n, MaxRelations))
+	}
+	if chunk < 1 {
+		panic(fmt.Sprintf("bitset: chunk size %d must be ≥ 1", chunk))
+	}
+	if k < 0 || k > n {
+		return dst
+	}
+	if k == 0 {
+		return append(dst, Empty)
+	}
+	last := LastKSubset(n, k)
+	s := FirstKSubset(k)
+	for idx := 0; ; idx++ {
+		if idx%chunk == 0 {
+			dst = append(dst, s)
+		}
+		if s == last {
+			return dst
+		}
+		s = NextKSubset(s)
+	}
+}
+
+// KSubsetRange is AppendKSubsetRange into a fresh slice.
+func KSubsetRange(n, k, chunk int) []Set {
+	return AppendKSubsetRange(nil, n, k, chunk)
+}
+
 // DescendSubset is the classic descending enumerator (L − 1) & S. Starting
 // from s&(s-1)... the canonical loop is:
 //

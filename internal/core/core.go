@@ -110,6 +110,20 @@ type Options struct {
 	// DescendingSubsets switches the split enumerator from the paper's
 	// succ(L) = S & (L−S) to the classic descending (L−1) & S (ablation).
 	DescendingSubsets bool
+	// Parallelism selects the fill schedule. 0 (or negative) runs the
+	// paper's serial numeric-order fill, unchanged. w ≥ 1 runs the
+	// rank-layer parallel fill with w workers: subsets of popcount k depend
+	// only on subsets of popcount < k, so each layer is partitioned across
+	// workers with a barrier between layers. Values beyond GOMAXPROCS add
+	// overhead without speedup. The parallel fill is bit-identical to the
+	// serial one — same plan, same costs, equal merged counter totals.
+	Parallelism int
+	// DiscardTable drops the DP table from the Result. The table holds four
+	// 2^n-element columns (≈ 28 B per subset — hundreds of MB at n ≥ 24);
+	// by default Result retains it for inspection, pinning that memory for
+	// as long as the Result lives. Callers that only want the plan should
+	// set DiscardTable (the measurement harness does).
+	DiscardTable bool
 }
 
 func (o Options) model() cost.Model {
@@ -138,6 +152,13 @@ func (o Options) maxPasses() int {
 		return 10
 	}
 	return o.MaxPasses
+}
+
+func (o Options) workers() int {
+	if o.Parallelism < 0 {
+		return 0
+	}
+	return o.Parallelism
 }
 
 // Counters instruments the algorithm with the operation counts §3.3 and §6
@@ -191,7 +212,12 @@ type Result struct {
 	Counters Counters
 	// Table is the filled dynamic-programming table, retained for
 	// inspection (Table 1 reproduction, debugging, tests). It reflects the
-	// final (successful) pass.
+	// final (successful) pass. Retention is not free: the table's four
+	// 2^n-element columns live as long as the Result does (up to hundreds
+	// of MB for n ≥ 24) — set Options.DiscardTable to get nil here and let
+	// the table be collected (or reused, with OptimizeWith). When a table
+	// is shared across queries via OptimizeWith, this field aliases it: a
+	// later optimization overwrites the contents in place.
 	Table *Table
 }
 
@@ -201,12 +227,27 @@ var ErrNoPlan = errors.New("core: no plan within the overflow cost limit")
 
 // Optimize runs Algorithm blitzsplit on the query.
 func Optimize(q Query, opts Options) (*Result, error) {
+	return OptimizeWith(nil, q, opts)
+}
+
+// OptimizeWith runs Algorithm blitzsplit reusing the given table's backing
+// storage (Reset to the query's shape first); t == nil allocates a fresh
+// table. Callers optimizing many queries back to back — the harness, the
+// benchmarks — pass one table to avoid re-making four 2^n-element slices
+// per query. The caller must not read the table concurrently with a later
+// OptimizeWith on it; combine with Options.DiscardTable so Results don't
+// alias it.
+func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(q.Cards)
-	t := NewTable(n, q.Graph != nil, opts.model())
-	t.InitProperties(q)
+	if t == nil {
+		t = NewTable(n, q.Graph != nil, opts.model())
+	} else {
+		t.Reset(n, q.Graph != nil, opts.model())
+	}
+	t.InitProperties(q, opts.workers())
 
 	var total Counters
 	limit := opts.overflowLimit()
@@ -240,7 +281,9 @@ func Optimize(q Query, opts Options) (*Result, error) {
 		Cost:        t.Cost(t.full),
 		Cardinality: t.Card(t.full),
 		Counters:    total,
-		Table:       t,
+	}
+	if !opts.DiscardTable {
+		res.Table = t
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/cost"
@@ -21,13 +22,15 @@ type Table struct {
 	memoized cost.Memoized         // non-nil when model supports table memoization
 	dnl      *cost.DiskNestedLoops // non-nil when model is the dnl model (inlined κ″)
 	naive    bool                  // κ″ ≡ 0 (skip evaluation entirely)
+	hasFan   bool                  // fan column maintained (query has a join graph)
 
 	// card[s] is the §5 intermediate-result cardinality of relation set s.
 	card []float64
-	// fan[s] is Π_fan(s) (equation 9); nil when the query has no join graph.
+	// fan[s] is Π_fan(s) (equation 9); meaningful only when hasFan (the
+	// backing slice is retained across Reset either way).
 	fan []float64
 	// memo[s] caches the model's per-set value (e.g. sort-merge's
-	// |R|(1+log|R|), per the Appendix); nil for non-memoized models.
+	// |R|(1+log|R|), per the Appendix); meaningful only when memoized ≠ nil.
 	memo []float64
 	// cost[s] is the best plan cost found for s in the current pass; +Inf
 	// when none exists under the active threshold.
@@ -35,26 +38,56 @@ type Table struct {
 	// bestLHS[s] is the left operand of the best split of s; 0 when s is a
 	// singleton or no plan was found. Stored as uint32: n ≤ 30.
 	bestLHS []uint32
+
+	// Parallel-fill scratch, retained across layers and passes so the
+	// steady-state schedule performs no allocation: chunk start points for
+	// the current rank layer, and one counter block per worker (padded so
+	// neighbouring workers never share a cache line).
+	chunks  []bitset.Set
+	workers []paddedCounters
+}
+
+// paddedCounters separates per-worker counters onto distinct cache lines.
+type paddedCounters struct {
+	c Counters
+	_ [64]byte
 }
 
 // NewTable allocates a table for n relations. hasGraph selects whether the
-// fan column is maintained; model determines memoization and κ″ dispatch.
+// fan column is maintained; model determines memoization and κ″ dispatch
+// (nil model means cost.Naive{}).
 func NewTable(n int, hasGraph bool, model cost.Model) *Table {
-	size := 1 << uint(n)
-	t := &Table{
-		n:       n,
-		full:    bitset.Full(n),
-		model:   model,
-		card:    make([]float64, size),
-		cost:    make([]float64, size),
-		bestLHS: make([]uint32, size),
+	t := &Table{}
+	t.Reset(n, hasGraph, model)
+	return t
+}
+
+// Reset reconfigures the table for a new query shape, reusing every backing
+// slice whose capacity suffices — repeated optimizations at similar n run
+// allocation-free instead of re-making four 2^n-element slices per query.
+// No column is zeroed: InitProperties and FillCosts overwrite every entry a
+// pass reads, so stale values from the previous query are never observed.
+func (t *Table) Reset(n int, hasGraph bool, model cost.Model) {
+	if model == nil {
+		model = cost.Naive{}
 	}
+	size := 1 << uint(n)
+	t.n = n
+	t.full = bitset.Full(n)
+	t.model = model
+	t.memoized = nil
+	t.dnl = nil
+	t.naive = false
+	t.hasFan = hasGraph
+	t.card = growFloats(t.card, size)
+	t.cost = growFloats(t.cost, size)
+	t.bestLHS = growUint32s(t.bestLHS, size)
 	if hasGraph {
-		t.fan = make([]float64, size)
+		t.fan = growFloats(t.fan, size)
 	}
 	if m, ok := model.(cost.Memoized); ok {
 		t.memoized = m
-		t.memo = make([]float64, size)
+		t.memo = growFloats(t.memo, size)
 	}
 	if m, ok := model.(cost.DiskNestedLoops); ok {
 		t.dnl = &m
@@ -62,7 +95,20 @@ func NewTable(n int, hasGraph bool, model cost.Model) *Table {
 	if _, ok := model.(cost.Naive); ok {
 		t.naive = true
 	}
-	return t
+}
+
+func growFloats(s []float64, size int) []float64 {
+	if cap(s) >= size {
+		return s[:size]
+	}
+	return make([]float64, size)
+}
+
+func growUint32s(s []uint32, size int) []uint32 {
+	if cap(s) >= size {
+		return s[:size]
+	}
+	return make([]uint32, size)
 }
 
 // N returns the number of relations.
@@ -73,7 +119,7 @@ func (t *Table) Card(s bitset.Set) float64 { return t.card[s] }
 
 // Fan returns Π_fan(s), or 1 when the query has no join graph.
 func (t *Table) Fan(s bitset.Set) float64 {
-	if t.fan == nil {
+	if !t.hasFan {
 		return 1
 	}
 	return t.fan[s]
@@ -87,65 +133,100 @@ func (t *Table) Cost(s bitset.Set) float64 { return t.cost[s] }
 func (t *Table) BestLHS(s bitset.Set) bitset.Set { return bitset.Set(t.bestLHS[s]) }
 
 // InitProperties fills the cardinality, fan and memo columns for every
-// subset, in numeric order (§4.2): the revised compute_properties of §5.4.
-// Each non-singleton set costs exactly one fan lookup-multiply and two
-// cardinality multiplies, regardless of the join graph.
-func (t *Table) InitProperties(q Query) {
-	g := q.Graph
+// subset — the revised compute_properties of §5.4. Each non-singleton set
+// costs exactly one fan lookup-multiply and two cardinality multiplies,
+// regardless of the join graph.
+//
+// With workers ≤ 1 the fill runs in numeric order (§4.2). With workers ≥ 2
+// it runs layer-parallel: every property of a popcount-k set depends only on
+// popcount-(k−1) sets (u = {min s}, v = s − u, and the two fan halves u|w,
+// u|z), so rank layers fill concurrently with a barrier between layers,
+// producing bit-identical columns. Custom estimators are exempt: they are
+// not required to be safe for concurrent StepFactor calls (Schema's
+// union-find compresses paths), so the estimator path always runs serially.
+func (t *Table) InitProperties(q Query, workers int) {
 	// init_singleton for each relation (§3.2).
 	for i := 0; i < t.n; i++ {
 		s := bitset.Single(i)
 		t.card[s] = q.Cards[i]
-		if t.fan != nil {
+		if t.hasFan {
 			t.fan[s] = 1
 		}
-		if t.memo != nil {
+		if t.memoized != nil {
 			t.memo[s] = t.memoized.Memo(q.Cards[i])
 		}
+	}
+	if workers > 1 && q.Estimator == nil {
+		for k := 2; k <= t.n; k++ {
+			t.runLayer(k, workers, func(_ int, s bitset.Set, count int) {
+				for j := 0; j < count; j++ {
+					t.initProperty(q, s)
+					s = bitset.NextKSubset(s)
+				}
+			})
+		}
+		return
 	}
 	size := bitset.Set(1) << uint(t.n)
 	for s := bitset.Set(3); s < size; s++ {
 		if s.IsSingleton() {
 			continue
 		}
-		u := s.MinSet()
-		v := s ^ u
-		if q.Estimator != nil {
-			// Generalized §5.2 recurrence via the pluggable estimator
-			// (hypergraphs, equivalence classes, …).
-			t.card[s] = t.card[u] * t.card[v] * q.Estimator.StepFactor(s)
-		} else if t.fan != nil {
-			if v.IsSingleton() {
-				// Doubleton: Π_fan is the selectivity of the connecting
-				// predicate, or 1 when there is none (§5.4).
-				t.fan[s] = g.Selectivity(u.Min(), v.Min())
-			} else {
-				// Recurrence (10): split V into W = {min V} and Z = V − W.
-				w := v.MinSet()
-				z := v ^ w
-				t.fan[s] = t.fan[u|w] * t.fan[u|z]
-			}
-			// Recurrence (11).
-			t.card[s] = t.card[u] * t.card[v] * t.fan[s]
+		t.initProperty(q, s)
+	}
+}
+
+// initProperty fills the property columns of one non-singleton set via the
+// §5.2/§5.4 recurrences (or the pluggable estimator).
+func (t *Table) initProperty(q Query, s bitset.Set) {
+	u := s.MinSet()
+	v := s ^ u
+	if q.Estimator != nil {
+		// Generalized §5.2 recurrence via the pluggable estimator
+		// (hypergraphs, equivalence classes, …).
+		t.card[s] = t.card[u] * t.card[v] * q.Estimator.StepFactor(s)
+	} else if t.hasFan {
+		if v.IsSingleton() {
+			// Doubleton: Π_fan is the selectivity of the connecting
+			// predicate, or 1 when there is none (§5.4).
+			t.fan[s] = q.Graph.Selectivity(u.Min(), v.Min())
 		} else {
-			t.card[s] = t.card[u] * t.card[v]
+			// Recurrence (10): split V into W = {min V} and Z = V − W.
+			w := v.MinSet()
+			z := v ^ w
+			t.fan[s] = t.fan[u|w] * t.fan[u|z]
 		}
-		if t.memo != nil {
-			t.memo[s] = t.memoized.Memo(t.card[s])
-		}
+		// Recurrence (11).
+		t.card[s] = t.card[u] * t.card[v] * t.fan[s]
+	} else {
+		t.card[s] = t.card[u] * t.card[v]
+	}
+	if t.memoized != nil {
+		t.memo[s] = t.memoized.Memo(t.card[s])
 	}
 }
 
 // FillCosts runs one optimization pass: find_best_split for every
-// non-singleton subset in numeric order, rejecting any plan whose cost
-// exceeds threshold. It returns the pass's instrumentation counters.
+// non-singleton subset, rejecting any plan whose cost exceeds threshold. It
+// returns the pass's instrumentation counters.
+//
+// With opts.Parallelism ≤ 0 subsets are visited in numeric order, exactly
+// the paper's §4.2 fill. Otherwise the fill is layer-parallel (see
+// fillCostsLayered); both schedules produce bit-identical cost/bestLHS
+// columns and equal counter totals, because each set's best split depends
+// only on strictly-smaller-popcount sets and findBestSplit's tie-breaking is
+// deterministic (fixed ascending enumeration, strict improvement — the
+// lowest competitive LHS wins regardless of schedule).
 func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
-	var c Counters
 	for i := 0; i < t.n; i++ {
 		s := bitset.Single(i)
 		t.cost[s] = 0
 		t.bestLHS[s] = 0
 	}
+	if w := opts.workers(); w > 0 {
+		return t.fillCostsLayered(opts, threshold, w)
+	}
+	var c Counters
 	size := bitset.Set(1) << uint(t.n)
 	for s := bitset.Set(3); s < size; s++ {
 		if s.IsSingleton() {
@@ -157,11 +238,91 @@ func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
 	return c
 }
 
+// fillCostsLayered is the parallel pass: rank layers k = 2 … n in turn, the
+// C(n,k) sets of each layer partitioned into contiguous Gosper-order chunks
+// handed to workers by striding, with a WaitGroup barrier between layers.
+// Each worker accumulates into its own padded Counters block; the blocks are
+// merged once at the end, so the totals are exact and contention-free.
+func (t *Table) fillCostsLayered(opts Options, threshold float64, workers int) Counters {
+	if workers > len(t.workers) {
+		t.workers = make([]paddedCounters, workers)
+	}
+	for i := range t.workers {
+		t.workers[i].c = Counters{}
+	}
+	for k := 2; k <= t.n; k++ {
+		t.runLayer(k, workers, func(w int, s bitset.Set, count int) {
+			c := &t.workers[w].c
+			for j := 0; j < count; j++ {
+				c.SubsetsVisited++
+				t.findBestSplit(s, opts, threshold, c)
+				s = bitset.NextKSubset(s)
+			}
+		})
+	}
+	var total Counters
+	for w := 0; w < workers; w++ {
+		total.Add(t.workers[w].c)
+	}
+	return total
+}
+
+// runLayer partitions rank layer k into chunks of consecutive k-subsets and
+// invokes work(worker, chunkStart, chunkLen) for every chunk, worker w
+// taking chunks w, w+workers, w+2·workers, … — a static stride schedule with
+// no per-item queue. The chunk-start slice is the only bookkeeping and is
+// reused across layers and passes. Chunks aim at 4 per worker so stragglers
+// rebalance while spawn overhead stays amortized; with one worker (or one
+// chunk) the layer runs inline on the calling goroutine.
+func (t *Table) runLayer(k, workers int, work func(w int, start bitset.Set, count int)) {
+	total := int(bitset.Binomial(t.n, k))
+	chunk := total / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	t.chunks = bitset.AppendKSubsetRange(t.chunks[:0], t.n, k, chunk)
+	nchunks := len(t.chunks)
+	lastLen := total - (nchunks-1)*chunk
+	if workers == 1 || nchunks == 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			n := chunk
+			if ci == nchunks-1 {
+				n = lastLen
+			}
+			work(0, t.chunks[ci], n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < nchunks; ci += workers {
+				n := chunk
+				if ci == nchunks-1 {
+					n = lastLen
+				}
+				work(w, t.chunks[ci], n)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // findBestSplit fills cost[s] and bestLHS[s] (§3.2 find_best_split with the
 // §4.2 realization details). The κ′ evaluation happens once, before the
 // loop; if it already exceeds the threshold the loop is skipped entirely —
 // the overflow short-circuit of §6.3 that §6.4 generalizes into explicit
 // plan-cost thresholds.
+//
+// Tie-breaking is deterministic and schedule-independent: each mode
+// enumerates splits in a fixed order and replaces the incumbent only on
+// strict improvement, so among equal-cost splits the first-enumerated one
+// wins — for the default bushy mode that is the lowest LHS set value (the
+// §4.2 successor visits subsets in ascending contracted value, and dilation
+// preserves numeric order). The serial and layer-parallel fills therefore
+// choose identical plans, not merely equal-cost ones.
 func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *Counters) {
 	outCard := t.card[s]
 	kp := t.model.SplitIndep(outCard)
@@ -287,7 +448,7 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 // splitDep computes κ″ for a split, using the memoized per-set values or the
 // inlined disk-nested-loops formula when available.
 func (t *Table) splitDep(outCard float64, lhs, rhs bitset.Set) float64 {
-	if t.memo != nil {
+	if t.memoized != nil {
 		return t.memoized.SplitDepFromMemo(outCard, t.memo[lhs], t.memo[rhs])
 	}
 	if t.dnl != nil {

@@ -38,25 +38,36 @@ type Measurement struct {
 	Err error
 }
 
-// options converts a workload case to optimizer options.
+// options converts a workload case to optimizer options. Harness runs
+// always discard the DP table: a Measurement only reads scalars, and
+// retaining four 2^n-element columns per measured point would pin hundreds
+// of MB across a sweep at large n.
 func options(c workload.Case) core.Options {
-	return core.Options{Model: c.Model, CostThreshold: c.Threshold}
+	return core.Options{
+		Model:         c.Model,
+		CostThreshold: c.Threshold,
+		Parallelism:   c.Parallelism,
+		DiscardTable:  true,
+	}
 }
 
 // Measure times one case: it repeats optimization until the cumulative wall
-// time reaches budget (at least one run) and averages.
+// time reaches budget (at least one run) and averages. The repeated runs
+// share one DP table (core.OptimizeWith), so the steady state allocates
+// nothing per run — the timing measures the fill, not the allocator.
 func Measure(c workload.Case, budget time.Duration) Measurement {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
 	q := core.Query{Cards: c.Cards, Graph: c.Graph}
 	opts := options(c)
+	tbl := core.NewTable(len(c.Cards), c.Graph != nil, c.Model)
 	var runs int
 	var last *core.Result
 	var err error
 	start := time.Now()
 	for {
-		last, err = core.Optimize(q, opts)
+		last, err = core.OptimizeWith(tbl, q, opts)
 		runs++
 		if err != nil {
 			return Measurement{Case: c, Runs: runs, Err: err,

@@ -144,13 +144,14 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 		units[i] = unit{tree: plan.Leaf(i, c), card: c}
 	}
 	res := &Result{}
+	var sc dpScratch // shared across rounds: the 2^u tables are re-made once, not per round
 	for len(units) > 1 {
 		res.DPRounds++
 		block := k
 		if len(units) < block {
 			block = len(units)
 		}
-		best, count, err := boundedDP(units, g, m, block)
+		best, count, err := boundedDP(units, g, m, block, &sc)
 		if err != nil {
 			return nil, err
 		}
@@ -173,18 +174,69 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 	return res, nil
 }
 
+// dpScratch holds boundedDP's per-round tables for reuse across IDP rounds:
+// without it every round re-makes three 2^u-element slices plus the subset
+// work lists, and the first (largest-u) rounds dominate the allocation bill.
+// Capacities only shrink as IDP collapses units, so after round one the DP
+// runs allocation-free.
+type dpScratch struct {
+	card, cost []float64
+	lhs        []uint32
+	sel        [][]float64
+	bySize     [][]bitset.Set
+}
+
+// resize readies the scratch for u units and the given block, reusing
+// backing arrays whose capacity suffices. Stale contents are harmless for
+// the same reason core.Table.Reset's are: every entry the DP reads is
+// written first (singletons here, larger subsets in ascending-size order).
+func (sc *dpScratch) resize(u, block int) {
+	size := 1 << uint(u)
+	if cap(sc.card) >= size {
+		sc.card, sc.cost = sc.card[:size], sc.cost[:size]
+	} else {
+		sc.card, sc.cost = make([]float64, size), make([]float64, size)
+	}
+	if cap(sc.lhs) >= size {
+		sc.lhs = sc.lhs[:size]
+	} else {
+		sc.lhs = make([]uint32, size)
+	}
+	if cap(sc.sel) >= u {
+		sc.sel = sc.sel[:u]
+	} else {
+		sc.sel = make([][]float64, u)
+	}
+	for i := range sc.sel {
+		if cap(sc.sel[i]) >= u {
+			sc.sel[i] = sc.sel[i][:u]
+		} else {
+			sc.sel[i] = make([]float64, u)
+		}
+	}
+	if cap(sc.bySize) >= block+1 {
+		sc.bySize = sc.bySize[:block+1]
+	} else {
+		sc.bySize = make([][]bitset.Set, block+1)
+	}
+	for i := range sc.bySize {
+		sc.bySize[i] = sc.bySize[i][:0]
+	}
+}
+
 // boundedDP runs the blitzsplit DP over subsets of at most `block` units and
 // returns the best block-sized compound unit (or the full plan when block
-// covers every unit). Subsets are keyed by bitsets over *unit indexes*.
-func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int) (unit, uint64, error) {
+// covers every unit). Subsets are keyed by bitsets over *unit indexes*; the
+// tables live in sc and are reused across rounds.
+func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dpScratch) (unit, uint64, error) {
 	u := len(units)
 	if u > bitset.MaxRelations {
 		return unit{}, 0, fmt.Errorf("hybrid: %d units exceed the bitset capacity", u)
 	}
+	sc.resize(u, block)
 	// Pairwise selectivities between units.
-	sel := make([][]float64, u)
+	sel := sc.sel
 	for i := range sel {
-		sel[i] = make([]float64, u)
 		for j := range sel[i] {
 			if i == j {
 				sel[i][j] = 1
@@ -196,10 +248,9 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int) (unit,
 	// Dense per-subset arrays keyed by the unit-index bitset. 2^u entries at
 	// 20 bytes each caps usable u well inside bitset.MaxRelations; IDP's
 	// block collapsing shrinks u every round, so only the first rounds pay.
-	size := 1 << uint(u)
-	cardT := make([]float64, size)
-	costT := make([]float64, size)
-	lhsT := make([]uint32, size)
+	cardT := sc.card
+	costT := sc.cost
+	lhsT := sc.lhs
 	for i := range units {
 		s := bitset.Single(i)
 		cardT[s] = units[i].card
@@ -207,7 +258,7 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int) (unit,
 	}
 	var considered uint64
 	// Subsets by ascending size so halves always exist.
-	bySize := make([][]bitset.Set, block+1)
+	bySize := sc.bySize
 	var gen func(start int, cur bitset.Set, size int)
 	gen = func(start int, cur bitset.Set, size int) {
 		if size >= 2 {

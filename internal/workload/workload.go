@@ -39,6 +39,9 @@ type Case struct {
 	Variability float64
 	// Threshold is the §6.4 plan-cost threshold; 0 means none.
 	Threshold float64
+	// Parallelism is the optimizer worker count: 0 runs the paper's serial
+	// fill, w ≥ 1 the rank-layer parallel fill (core.Options.Parallelism).
+	Parallelism int
 }
 
 // MeanCardGrid returns the Appendix mean-cardinality axis: logarithmic

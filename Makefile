@@ -1,12 +1,21 @@
 # Pre-merge gate and common developer targets. `make ci` is the check to run
 # before merging (README "Testing"): vet + build + full tests + the
-# parallel-fill cross-checks under the race detector.
+# parallel-fill cross-checks under the race detector + coverage floors +
+# short fuzzing smoke runs of the invariant harness.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-parallel
+# Per-target budget for the fuzz smoke (the nightly deep run raises this).
+FUZZTIME ?= 10s
 
-ci: vet build test race
+# Minimum statement coverage (percent) for the packages whose correctness
+# everything else leans on.
+COVER_MIN ?= 80
+COVER_PKGS = ./internal/core ./internal/check
+
+.PHONY: ci vet build test race bench-parallel fuzz-smoke cover
+
+ci: vet build test race cover fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +30,29 @@ test:
 # exercise its cross-check tests with -race on every merge.
 race:
 	$(GO) test -race -run 'Parallel' ./internal/core/...
+
+# Run every native fuzz target for FUZZTIME each, starting from the
+# checked-in corpora under internal/check/testdata/fuzz/. Go allows only one
+# -fuzz pattern per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzOptimize$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+	$(GO) test -fuzz='^FuzzSpecRoundTrip$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+	$(GO) test -fuzz='^FuzzBitset$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+
+# Enforce the coverage floor on the optimizer core and the invariant
+# harness. A drop below COVER_MIN fails the build.
+cover:
+	@status=0; \
+	for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=coverage.out "$$pkg" >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_MIN)%)"; \
+		if awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN { exit !(p+0 < m+0) }'; then \
+			echo "FAIL: $$pkg below $(COVER_MIN)% statement coverage"; status=1; \
+		fi; \
+	done; \
+	rm -f coverage.out; \
+	exit $$status
 
 # Regenerate the numbers behind BENCH_parallel.json (see EXPERIMENTS.md).
 bench-parallel:

@@ -33,6 +33,7 @@ import (
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/catalog"
+	"blitzsplit/internal/check"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/engine"
@@ -247,11 +248,37 @@ type Result struct {
 	Counters Counters
 
 	names []string
+	query core.Query
+	model CostModel
 }
 
 // Expression renders the plan as a parenthesized join expression using the
 // query's relation names.
 func (r *Result) Expression() string { return r.Plan.Expression(r.names) }
+
+// Verify audits the result with the internal correctness harness: the plan
+// must be structurally well-formed (each base relation in exactly one leaf,
+// children partitioning each node's relation set), and every cardinality and
+// cost in it must match a from-scratch recomputation against the original
+// query and cost model. It returns nil for every result the library
+// produces; a non-nil error means a bug (or a Result mutated after the
+// fact). See DESIGN.md's "Correctness harness" section for the full
+// invariant suite this draws from.
+func (r *Result) Verify() error {
+	if err := check.WellFormed(len(r.query.Cards), r.Plan); err != nil {
+		return err
+	}
+	m := r.model
+	if m == nil {
+		m = cost.Naive{}
+	}
+	return check.CostConsistent(r.query, m, &core.Result{
+		Plan:        r.Plan,
+		Cost:        r.Cost,
+		Cardinality: r.Cardinality,
+		Counters:    r.Counters,
+	})
+}
 
 // Optimize runs Algorithm blitzsplit over the query and returns the optimal
 // bushy plan.
@@ -286,6 +313,8 @@ func (q *Query) Optimize(options ...Option) (*Result, error) {
 		Cardinality: res.Cardinality,
 		Counters:    res.Counters,
 		names:       q.cat.Names(),
+		query:       cq,
+		model:       cfg.opts.Model,
 	}, nil
 }
 
@@ -332,7 +361,8 @@ func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*
 		}
 	}
 	cfg.opts.DiscardTable = true
-	res, err := core.Optimize(core.Query{Cards: cards, Estimator: est}, cfg.opts)
+	cq := core.Query{Cards: cards, Estimator: est}
+	res, err := core.Optimize(cq, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +378,8 @@ func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*
 		Cost:        res.Cost,
 		Cardinality: res.Cardinality,
 		Counters:    res.Counters,
+		query:       cq,
+		model:       cfg.opts.Model,
 	}, nil
 }
 
@@ -388,6 +420,8 @@ func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error)
 		Cost:        res.Cost,
 		Cardinality: res.Plan.Card,
 		names:       q.cat.Names(),
+		query:       cq,
+		model:       m,
 	}, nil
 }
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenSpecs pins genspec's output byte for byte: the generator feeds
+// every downstream tool, so accidental changes to the Appendix cardinality
+// ladder, the selectivity formula, or the JSON shape must be deliberate
+// (regenerate with `go test ./cmd/genspec -run TestGoldenSpecs -update`).
+// Each golden output must also survive the full pipeline: parse as a spec,
+// materialize, and optimize cleanly.
+func TestGoldenSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"chain8", []string{"-topology", "chain", "-n", "8", "-mean", "100", "-var", "0.5"}},
+		{"star6", []string{"-topology", "star", "-n", "6", "-mean", "10", "-var", "0"}},
+		{"random7", []string{"-topology", "random", "-n", "7", "-extra", "2", "-seed", "5", "-mean", "50", "-var", "0.25"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			golden := filepath.Join("testdata", tc.name+".json")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s:\n%s", golden, out.String())
+			}
+
+			f, err := spec.Parse(out.Bytes())
+			if err != nil {
+				t.Fatalf("generated spec does not parse: %v", err)
+			}
+			q, names, err := f.Query()
+			if err != nil {
+				t.Fatalf("generated spec does not materialize: %v", err)
+			}
+			if len(names) != len(q.Cards) {
+				t.Fatalf("%d names for %d relations", len(names), len(q.Cards))
+			}
+			if _, err := core.Optimize(q, core.Options{}); err != nil {
+				t.Fatalf("generated spec does not optimize: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenRendering runs the whole seed-corpus pipeline end to end: a
+// genspec-generated spec (the golden file checked in under cmd/genspec) is
+// parsed, optimized, serialized as plan JSON, and rendered by planviz; the
+// rendering is pinned byte for byte. Optimizer tie-breaking is
+// deterministic, so any diff here means the plan, the JSON shape, or the
+// renderer changed (regenerate with
+// `go test ./cmd/planviz -run TestGoldenRendering -update`).
+func TestGoldenRendering(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  string
+		model cost.Model
+	}{
+		{"chain8_sortmerge", filepath.Join("..", "genspec", "testdata", "chain8.json"), cost.SortMerge{}},
+		{"star6_naive", filepath.Join("..", "genspec", "testdata", "star6.json"), cost.Naive{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := os.ReadFile(tc.spec)
+			if err != nil {
+				t.Fatalf("reading generated spec (run the genspec golden test with -update first): %v", err)
+			}
+			f, err := spec.Parse(data)
+			if err != nil {
+				t.Fatalf("spec: %v", err)
+			}
+			q, _, err := f.Query()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Optimize(q, core.Options{Model: tc.model})
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			planJSON, err := res.Plan.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var out bytes.Buffer
+			if err := run([]string{"-stats", "-"}, bytes.NewReader(planJSON), &out); err != nil {
+				t.Fatalf("planviz: %v", err)
+			}
+			golden := filepath.Join("testdata", tc.name+".txt")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("rendering differs from %s:\n%s", golden, out.String())
+			}
+		})
+	}
+}

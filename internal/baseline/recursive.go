@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// RecursiveMemo is a top-down memoized optimizer over the complete bushy
+// space, Cartesian products included — the same space blitzsplit searches,
+// implemented the opposite way around: recursion from the full relation set
+// down with a map-backed memo instead of a bottom-up numeric-order fill over
+// a flat array, descending-order split enumeration instead of the ascending
+// two's-complement successor, and per-call cardinality computation via the
+// reference JoinCardinality instead of the fan recurrence. Agreement with
+// internal/core on optimal cost is therefore a genuine differential check
+// (the invariant library in internal/check leans on it for n beyond
+// BruteForce's reach; the memoization keeps it O(3^n), practical to n ≈ 14).
+// Considered counts split evaluations.
+func RecursiveMemo(cards []float64, g *joingraph.Graph, m cost.Model) (*Result, error) {
+	if err := validate(cards, g); err != nil {
+		return nil, err
+	}
+	n := len(cards)
+	full := bitset.Full(n)
+
+	type entry struct {
+		cost float64
+		lhs  bitset.Set
+	}
+	memo := make(map[bitset.Set]entry)
+	var considered uint64
+
+	var solve func(s bitset.Set) entry
+	solve = func(s bitset.Set) entry {
+		if s.IsSingleton() {
+			return entry{cost: 0}
+		}
+		if e, ok := memo[s]; ok {
+			return e
+		}
+		out := cardOf(s, cards, g)
+		best := entry{cost: math.Inf(1)}
+		// Descending enumeration — the ablation counterpart of the paper's
+		// ascending succ(L) = S & (L − S).
+		for l := s.DescendSubset(s); l != 0; l = s.DescendSubset(l) {
+			r := s ^ l
+			considered++
+			total := solve(l).cost + solve(r).cost +
+				cost.Total(m, out, cardOf(l, cards, g), cardOf(r, cards, g))
+			if total < best.cost {
+				best = entry{cost: total, lhs: l}
+			}
+		}
+		memo[s] = best
+		return best
+	}
+
+	root := solve(full)
+	var build func(s bitset.Set) *plan.Node
+	build = func(s bitset.Set) *plan.Node {
+		if s.IsSingleton() {
+			return plan.Leaf(s.Min(), cards[s.Min()])
+		}
+		e := memo[s]
+		return &plan.Node{
+			Set:   s,
+			Card:  cardOf(s, cards, g),
+			Cost:  e.cost,
+			Left:  build(e.lhs),
+			Right: build(s ^ e.lhs),
+		}
+	}
+	return &Result{Plan: build(full), Cost: root.cost, Considered: considered}, nil
+}

@@ -1,0 +1,46 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"blitzsplit/internal/engine"
+	"blitzsplit/internal/plan"
+)
+
+// ExecutionAgree is the ground-truth verifier: join order is pure
+// optimization, so every well-formed plan over the same relations must
+// produce the same result set. It executes each plan against inst — under
+// every join algorithm the engine implements — and fails if any execution
+// yields a different row count than the first. Plans whose execution exceeds
+// opts.MaxRows are skipped (the row limit is an engine resource guard, not a
+// semantic difference).
+func ExecutionAgree(inst *engine.Instance, opts engine.ExecOptions, plans ...*plan.Node) error {
+	if len(plans) == 0 {
+		return fmt.Errorf("check: no plans to execute")
+	}
+	algorithms := []engine.JoinAlgorithm{engine.NestedLoopsAlg, engine.HashJoinAlg, engine.SortMergeAlg}
+	want := -1
+	for pi, p := range plans {
+		for _, alg := range algorithms {
+			opts.Algorithm = alg
+			opts.UsePlanAlgorithms = false
+			got, err := inst.Count(p, opts)
+			if errors.Is(err, engine.ErrRowLimit) {
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("check: executing plan %d under %v: %w", pi, alg, err)
+			}
+			if want < 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				return fmt.Errorf("check: plan %d under %v produced %d rows, earlier executions produced %d",
+					pi, alg, got, want)
+			}
+		}
+	}
+	return nil
+}

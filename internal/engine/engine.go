@@ -92,11 +92,17 @@ type Instance struct {
 // Each predicate (i, j, s) puts a column JoinColumn(i,j) on both relations,
 // with values uniform over a domain of size max(1, round(1/s)).
 func Synthesize(cards []float64, g *joingraph.Graph, seed int64) (*Instance, error) {
+	return SynthesizeRand(cards, g, rand.New(rand.NewSource(seed)))
+}
+
+// SynthesizeRand is Synthesize drawing from an injected source, for callers
+// that interleave data synthesis with other random choices and need one
+// reproducible stream (testutil generators, fuzz harnesses).
+func SynthesizeRand(cards []float64, g *joingraph.Graph, rng *rand.Rand) (*Instance, error) {
 	if g != nil && g.N() != len(cards) {
 		return nil, fmt.Errorf("engine: graph covers %d relations, got %d cardinalities", g.N(), len(cards))
 	}
 	const maxRows = 50_000_000
-	rng := rand.New(rand.NewSource(seed))
 	inst := &Instance{Relations: make([]*Relation, len(cards)), Graph: g}
 	for i, c := range cards {
 		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {

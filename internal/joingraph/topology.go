@@ -133,7 +133,14 @@ func GridEdges(rows, cols int) []Pair {
 // seed. Useful for probing the input space beyond the paper's fixed
 // topologies.
 func RandomConnectedEdges(n, extra int, seed int64) []Pair {
-	rng := rand.New(rand.NewSource(seed))
+	return RandomConnectedEdgesRand(n, extra, rand.New(rand.NewSource(seed)))
+}
+
+// RandomConnectedEdgesRand is RandomConnectedEdges drawing from an injected
+// source, so callers composing several random choices (workload generators,
+// fuzz harnesses) get a single reproducible stream instead of one internal
+// generator per call.
+func RandomConnectedEdgesRand(n, extra int, rng *rand.Rand) []Pair {
 	perm := rng.Perm(n)
 	used := map[Pair]bool{}
 	var out []Pair

@@ -18,11 +18,39 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 
 	"blitzsplit/internal/catalog"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/joingraph"
+)
+
+// Typed validation errors. Every rejection of a structurally well-formed
+// JSON document wraps exactly one of these sentinels, so callers (and the
+// round-trip fuzz target) can distinguish failure classes with errors.Is
+// instead of string matching.
+var (
+	// ErrNoRelations rejects a spec with an empty or missing relation list.
+	ErrNoRelations = errors.New("spec: no relations")
+	// ErrBadName rejects a relation with an empty name.
+	ErrBadName = errors.New("spec: relation name must be nonempty")
+	// ErrDuplicateRelation rejects two relations sharing a name.
+	ErrDuplicateRelation = errors.New("spec: duplicate relation")
+	// ErrBadCardinality rejects NaN, ±Inf, and negative cardinalities. (JSON
+	// itself cannot encode NaN or Inf, but File values are also built in
+	// code and re-validated after round trips.)
+	ErrBadCardinality = errors.New("spec: cardinality must be finite and nonnegative")
+	// ErrBadWidth rejects a negative tuple width.
+	ErrBadWidth = errors.New("spec: width must be nonnegative")
+	// ErrUnknownRelation rejects a join referencing an undeclared relation.
+	ErrUnknownRelation = errors.New("spec: join references unknown relation")
+	// ErrSelfJoin rejects a join predicate from a relation to itself.
+	ErrSelfJoin = errors.New("spec: join relates a relation to itself")
+	// ErrDuplicateJoin rejects two predicates on the same relation pair.
+	ErrDuplicateJoin = errors.New("spec: duplicate join predicate")
+	// ErrBadSelectivity rejects selectivities outside (0, 1], including NaN.
+	ErrBadSelectivity = errors.New("spec: selectivity must be in (0, 1]")
 )
 
 // Join is one equi-join predicate in a spec file.
@@ -46,13 +74,64 @@ func Parse(data []byte) (*File, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
-	if len(f.Relations) == 0 {
-		return nil, errors.New("spec: no relations")
+	if err := f.Validate(); err != nil {
+		return nil, err
 	}
 	if _, _, err := f.Query(); err != nil {
 		return nil, err
 	}
 	return &f, nil
+}
+
+// Validate checks the spec's semantic constraints and returns an error
+// wrapping one of the typed sentinels above on the first violation. Parse
+// calls it automatically; call it directly on File values assembled in code.
+func (f *File) Validate() error {
+	if len(f.Relations) == 0 {
+		return ErrNoRelations
+	}
+	names := make(map[string]bool, len(f.Relations))
+	for _, r := range f.Relations {
+		if r.Name == "" {
+			return ErrBadName
+		}
+		if names[r.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateRelation, r.Name)
+		}
+		names[r.Name] = true
+		if r.Cardinality < 0 || math.IsNaN(r.Cardinality) || math.IsInf(r.Cardinality, 0) {
+			return fmt.Errorf("%w: relation %q has cardinality %v", ErrBadCardinality, r.Name, r.Cardinality)
+		}
+		if r.Width < 0 {
+			return fmt.Errorf("%w: relation %q has width %d", ErrBadWidth, r.Name, r.Width)
+		}
+	}
+	type pair struct{ a, b string }
+	joins := make(map[pair]bool, len(f.Joins))
+	for _, j := range f.Joins {
+		if !names[j.A] {
+			return fmt.Errorf("%w: %q", ErrUnknownRelation, j.A)
+		}
+		if !names[j.B] {
+			return fmt.Errorf("%w: %q", ErrUnknownRelation, j.B)
+		}
+		if j.A == j.B {
+			return fmt.Errorf("%w: %q", ErrSelfJoin, j.A)
+		}
+		// !(x > 0 && x ≤ 1) also catches NaN, which fails every comparison.
+		if !(j.Selectivity > 0 && j.Selectivity <= 1) {
+			return fmt.Errorf("%w: join %s-%s has selectivity %v", ErrBadSelectivity, j.A, j.B, j.Selectivity)
+		}
+		key := pair{j.A, j.B}
+		if j.B < j.A {
+			key = pair{j.B, j.A}
+		}
+		if joins[key] {
+			return fmt.Errorf("%w: %s-%s", ErrDuplicateJoin, key.a, key.b)
+		}
+		joins[key] = true
+	}
+	return nil
 }
 
 // Load reads and parses a spec file from disk.

@@ -2,9 +2,13 @@ package spec
 
 import (
 	"encoding/json"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"blitzsplit/internal/catalog"
 )
 
 func TestParseValid(t *testing.T) {
@@ -48,21 +52,77 @@ func TestParseNoJoins(t *testing.T) {
 	}
 }
 
+// TestParseRejects drives every error path of Parse and pins each to its
+// typed sentinel (nil sentinel means "any error", for failures that happen
+// below the JSON layer).
 func TestParseRejects(t *testing.T) {
-	cases := map[string]string{
-		"garbage":          `nope`,
-		"unknown field":    `{"relations":[{"name":"A","cardinality":1}],"bogus":1}`,
-		"no relations":     `{"joins":[]}`,
-		"dup relation":     `{"relations":[{"name":"A","cardinality":1},{"name":"A","cardinality":2}]}`,
-		"unknown join rel": `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"Z","selectivity":0.5}]}`,
-		"unknown join a":   `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"Z","b":"A","selectivity":0.5}]}`,
-		"bad selectivity":  `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":7}]}`,
-		"self join":        `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"A","selectivity":0.5}]}`,
+	cases := []struct {
+		name string
+		body string
+		want error
+	}{
+		{"garbage", `nope`, nil},
+		{"unknown field", `{"relations":[{"name":"A","cardinality":1}],"bogus":1}`, nil},
+		{"no relations", `{"joins":[]}`, ErrNoRelations},
+		{"empty relation list", `{"relations":[]}`, ErrNoRelations},
+		{"empty name", `{"relations":[{"name":"","cardinality":1}]}`, ErrBadName},
+		{"dup relation", `{"relations":[{"name":"A","cardinality":1},{"name":"A","cardinality":2}]}`, ErrDuplicateRelation},
+		{"negative cardinality", `{"relations":[{"name":"A","cardinality":-3}]}`, ErrBadCardinality},
+		{"infinite cardinality", `{"relations":[{"name":"A","cardinality":1e999}]}`, nil},
+		{"negative width", `{"relations":[{"name":"A","cardinality":1,"width":-8}]}`, ErrBadWidth},
+		{"unknown join rel", `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"Z","selectivity":0.5}]}`, ErrUnknownRelation},
+		{"unknown join a", `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"Z","b":"A","selectivity":0.5}]}`, ErrUnknownRelation},
+		{"self join", `{"relations":[{"name":"A","cardinality":1}],"joins":[{"a":"A","b":"A","selectivity":0.5}]}`, ErrSelfJoin},
+		{"selectivity above one", `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":7}]}`, ErrBadSelectivity},
+		{"zero selectivity", `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":0}]}`, ErrBadSelectivity},
+		{"negative selectivity", `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":-0.5}]}`, ErrBadSelectivity},
+		{"missing selectivity", `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B"}]}`, ErrBadSelectivity},
+		{"dup join", `{"relations":[{"name":"A","cardinality":1},{"name":"B","cardinality":1}],"joins":[{"a":"A","b":"B","selectivity":0.5},{"a":"B","b":"A","selectivity":0.2}]}`, ErrDuplicateJoin},
 	}
-	for name, body := range cases {
-		if _, err := Parse([]byte(body)); err == nil {
-			t.Errorf("%s: accepted", name)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %q does not wrap %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateNonEncodableFloats covers the invalid floats JSON cannot
+// express: File values assembled in code must still be rejected with the
+// typed sentinels.
+func TestValidateNonEncodableFloats(t *testing.T) {
+	cases := []struct {
+		name string
+		file File
+		want error
+	}{
+		{"NaN cardinality",
+			File{Relations: []catalog.Relation{{Name: "A", Cardinality: math.NaN()}}},
+			ErrBadCardinality},
+		{"+Inf cardinality",
+			File{Relations: []catalog.Relation{{Name: "A", Cardinality: math.Inf(1)}}},
+			ErrBadCardinality},
+		{"-Inf cardinality",
+			File{Relations: []catalog.Relation{{Name: "A", Cardinality: math.Inf(-1)}}},
+			ErrBadCardinality},
+		{"NaN selectivity",
+			File{
+				Relations: []catalog.Relation{{Name: "A", Cardinality: 1}, {Name: "B", Cardinality: 2}},
+				Joins:     []Join{{A: "A", B: "B", Selectivity: math.NaN()}},
+			},
+			ErrBadSelectivity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.file.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,99 @@
+package testutil
+
+import (
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+)
+
+// cardPalette maps fuzz bytes to base-relation cardinalities. It leans on
+// edge values: empty relations, singletons, round mid-range sizes, and
+// magnitudes big enough that a handful of joins overflows the float32 cost
+// limit (§6.3) — the ErrNoPlan path must be fuzzed too.
+var cardPalette = []float64{0, 1, 2, 3, 10, 100, 1e3, 1e4, 1e6, 1e9, 1e12, 1e30}
+
+// selPalette maps fuzz bytes to selectivities in (0, 1], from the neutral 1
+// down to values that drive intermediate cardinalities toward zero.
+var selPalette = []float64{1, 0.5, 0.1, 1e-2, 1e-3, 1e-4, 1e-6, 1e-9}
+
+// byteCursor reads bytes off a fuzz input; once the input is exhausted every
+// further read yields 0, so any byte string decodes to a total, deterministic
+// query (no rejection — fuzz coverage is never wasted on invalid prefixes).
+type byteCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteCursor) next() byte {
+	if c.pos >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+// FuzzQuery is a query decoded from raw fuzz bytes plus the auxiliary
+// choices (model, search-space restriction, metamorphic seed) derived from
+// the same bytes.
+type FuzzQuery struct {
+	// Query is the decoded optimization problem; always Validate-clean.
+	Query core.Query
+	// Model is the decoded cost model.
+	Model cost.Model
+	// LeftDeep selects the §6.2 restricted search space.
+	LeftDeep bool
+	// Aux seeds the harness's derived random choices (permutations, scale
+	// factors) so they too are a pure function of the fuzz input.
+	Aux int64
+}
+
+// QueryFromBytes decodes an arbitrary byte string into a valid optimizer
+// query. The mapping is total and deterministic: n ∈ [1, 8] relations with
+// palette cardinalities, an optional join graph with palette selectivities
+// over decoded relation pairs (duplicates skipped), one of the five Models,
+// and a left-deep bit. Exhausted input reads as zero bytes.
+func QueryFromBytes(data []byte) FuzzQuery {
+	c := &byteCursor{data: data}
+	n := 1 + int(c.next()%8)
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = cardPalette[int(c.next())%len(cardPalette)]
+	}
+	var g *joingraph.Graph
+	if n > 1 && c.next()%4 != 0 {
+		maxEdges := n * (n - 1) / 2
+		g = joingraph.New(n)
+		edges := int(c.next()) % (maxEdges + 1)
+		for e := 0; e < edges; e++ {
+			pair := int(c.next()) % maxEdges
+			sel := selPalette[int(c.next())%len(selPalette)]
+			a, b := pairByIndex(n, pair)
+			if !g.HasEdge(a, b) {
+				g.MustAddEdge(a, b, sel)
+			}
+		}
+	}
+	models := Models()
+	model := models[int(c.next())%len(models)]
+	flags := c.next()
+	return FuzzQuery{
+		Query:    core.Query{Cards: cards, Graph: g},
+		Model:    model,
+		LeftDeep: flags&1 != 0,
+		Aux:      int64(flags)<<8 | int64(c.next()),
+	}
+}
+
+// pairByIndex maps a dense index in [0, n(n−1)/2) to the relation pair
+// (a, b), a < b, in lexicographic order.
+func pairByIndex(n, idx int) (int, int) {
+	for a := 0; a < n; a++ {
+		row := n - 1 - a
+		if idx < row {
+			return a, a + 1 + idx
+		}
+		idx -= row
+	}
+	panic("testutil: pair index out of range")
+}

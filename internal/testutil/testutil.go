@@ -1,0 +1,98 @@
+// Package testutil generates optimizer inputs for randomized tests and fuzz
+// targets: queries drawn from an injected *rand.Rand (one reproducible
+// stream, no internal seeding — a failing draw is replayable from its seed
+// alone) and queries decoded deterministically from raw fuzz bytes. It sits
+// beside internal/check: check states the invariants, testutil supplies the
+// inputs they are checked on.
+package testutil
+
+import (
+	"math"
+	"math/rand"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/workload"
+)
+
+// Models returns the cost-model palette the harnesses cycle through: the
+// three paper models, the hash extension, and a min composite (§6.5).
+func Models() []cost.Model {
+	return []cost.Model{
+		cost.Naive{},
+		cost.SortMerge{},
+		cost.NewDiskNestedLoops(),
+		cost.NewHashJoin(),
+		cost.NewMin(cost.SortMerge{}, cost.NewDiskNestedLoops()),
+	}
+}
+
+// RandomModel draws one model from Models.
+func RandomModel(rng *rand.Rand) cost.Model {
+	m := Models()
+	return m[rng.Intn(len(m))]
+}
+
+// RandomQuery draws a valid optimizer query with 1 ≤ n ≤ maxN relations.
+// Cardinalities are log-uniform in [1, 10⁴] with an occasional exact 0 (the
+// empty-relation edge case); the join graph is one of: nil (pure Cartesian
+// product), a connected Appendix-style random graph, or an arbitrary —
+// possibly disconnected — edge subset, so the no-product baselines' failure
+// paths get exercised too.
+func RandomQuery(rng *rand.Rand, maxN int) core.Query {
+	if maxN < 1 {
+		maxN = 1
+	}
+	n := 1 + rng.Intn(maxN)
+	cards := make([]float64, n)
+	for i := range cards {
+		if rng.Intn(20) == 0 {
+			cards[i] = 0
+			continue
+		}
+		cards[i] = math.Exp(rng.Float64() * math.Log(1e4))
+	}
+	var g *joingraph.Graph
+	if n > 1 {
+		switch rng.Intn(3) {
+		case 0: // pure Cartesian product: g stays nil
+		case 1: // connected, Appendix selectivity formula
+			for i, c := range cards {
+				if c < 1 { // Build requires positive cards
+					cards[i] = 1
+				}
+			}
+			g = joingraph.Build(joingraph.RandomConnectedEdgesRand(n, rng.Intn(3), rng), cards)
+		case 2: // arbitrary edge subset, possibly disconnected
+			g = joingraph.New(n)
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					if rng.Intn(3) == 0 {
+						g.MustAddEdge(a, b, RandomSelectivity(rng))
+					}
+				}
+			}
+		}
+	}
+	return core.Query{Cards: cards, Graph: g}
+}
+
+// RandomSelectivity draws a selectivity in (0, 1], log-uniform down to 10⁻⁶
+// with an occasional exact 1 (the filters-nothing edge case).
+func RandomSelectivity(rng *rand.Rand) float64 {
+	if rng.Intn(10) == 0 {
+		return 1
+	}
+	return math.Exp(-rng.Float64() * math.Log(1e6))
+}
+
+// Permutation returns a random permutation of {0, …, n−1} drawn from rng.
+func Permutation(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// RandomCase re-exports workload.RandomCase for callers that want a fully
+// instantiated evaluation Case (cards + connected graph + model) rather than
+// a bare query.
+func RandomCase(rng *rand.Rand, n, extra int, maxCard float64) workload.Case {
+	return workload.RandomCase(rng, n, extra, maxCard)
+}

@@ -8,6 +8,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/joingraph"
@@ -169,6 +171,48 @@ func Figure6Cases(n int) []Case {
 				out = append(out, c)
 			}
 		}
+	}
+	return out
+}
+
+// RandomCase draws one evaluation point outside the paper's fixed grids: n
+// relations with log-uniform cardinalities in [1, maxCard], a random
+// connected join graph (spanning tree + extra edges) carrying the Appendix
+// selectivity formula, and a random paper cost model. All randomness comes
+// from the injected rng — callers own the stream, so a failing draw is
+// reproducible (and shrinkable) from its seed alone.
+func RandomCase(rng *rand.Rand, n, extra int, maxCard float64) Case {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: random case needs n ≥ 1, got %d", n))
+	}
+	if maxCard < 1 {
+		maxCard = 1
+	}
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = math.Exp(rng.Float64() * math.Log(maxCard))
+	}
+	var g *joingraph.Graph
+	if n > 1 {
+		g = joingraph.Build(joingraph.RandomConnectedEdgesRand(n, extra, rng), cards)
+	}
+	models := cost.PaperModels()
+	model := models[rng.Intn(len(models))]
+	return Case{
+		Name:     fmt.Sprintf("random/n=%d/%s", n, model.Name()),
+		N:        n,
+		Cards:    cards,
+		Graph:    g,
+		Model:    model,
+		MeanCard: stats.GeometricMean(cards),
+	}
+}
+
+// RandomCases draws count independent RandomCase points from rng.
+func RandomCases(rng *rand.Rand, count, n, extra int, maxCard float64) []Case {
+	out := make([]Case, count)
+	for i := range out {
+		out[i] = RandomCase(rng, n, extra, maxCard)
 	}
 	return out
 }

@@ -13,9 +13,9 @@ FUZZTIME ?= 10s
 COVER_MIN ?= 80
 COVER_PKGS = ./internal/core ./internal/check
 
-.PHONY: ci vet build test race bench-parallel fuzz-smoke cover
+.PHONY: ci vet build test race stress bench-parallel fuzz-smoke cover
 
-ci: vet build test race cover fuzz-smoke
+ci: vet build test race stress cover fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,13 +23,25 @@ vet:
 build:
 	$(GO) build ./...
 
+# Every test invocation carries an explicit -timeout: a hang in the
+# budget/cancellation machinery must fail the gate, not wedge it.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 300s ./...
 
-# The rank-layer parallel fill is the only concurrent code in the module;
-# exercise its cross-check tests with -race on every merge.
+# The rank-layer parallel fill and the budget watcher are the concurrent
+# code in the module; exercise their cross-check tests with -race on every
+# merge.
 race:
-	$(GO) test -race -run 'Parallel' ./internal/core/...
+	$(GO) test -race -timeout 600s -run 'Parallel' ./internal/core/...
+
+# Looped race-detector runs of the resource-governance paths: cancellation
+# mid-fill, goroutine-leak settling, memory admission, table reuse after a
+# budget stop, and every degradation-ladder rung. -count defeats test
+# caching so each loop re-races the watcher/worker shutdown.
+stress:
+	$(GO) test -race -timeout 600s -count=5 \
+		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp' \
+		./internal/core/ ./internal/hybrid/ .
 
 # Run every native fuzz target for FUZZTIME each, starting from the
 # checked-in corpora under internal/check/testdata/fuzz/. Go allows only one

@@ -27,8 +27,11 @@
 package blitzsplit
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
@@ -37,6 +40,7 @@ import (
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/engine"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/hybrid"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/plan"
@@ -62,6 +66,36 @@ type Database = engine.Instance
 
 // ErrNoPlan is returned when every plan exceeds the overflow cost limit.
 var ErrNoPlan = core.ErrNoPlan
+
+// ErrBudgetExceeded is the sentinel wrapped by every budget failure — a
+// deadline or cancellation (WithTimeout, WithContext) or a memory-admission
+// rejection (WithMemoryBudget). Match with errors.Is; errors.As against
+// *BudgetError exposes the phase, progress and elapsed time.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// BudgetError details a budget failure: which phase ran out (admission,
+// properties, fill), how many table entries were processed, and how long the
+// run had been going.
+type BudgetError = core.BudgetError
+
+// Degradation-ladder rungs, recorded in Result.Mode. Each rung trades plan
+// quality for resources; every rung's output passes Result.Verify.
+const (
+	// ModeExhaustive is the full blitzsplit search: the plan is the global
+	// optimum under the chosen cost model.
+	ModeExhaustive = "exhaustive"
+	// ModeThreshold is blitzsplit under a §6.4 plan-cost threshold seeded
+	// just above a greedy upper bound: still optimal whenever it completes
+	// (the optimum costs no more than the greedy plan), but the pruned pass
+	// does far less κ″ work than the full search.
+	ModeThreshold = "threshold"
+	// ModeIDP is the §7 hybrid: iterative dynamic programming over bounded
+	// blocks plus randomized polishing. Near-optimal, polynomial time.
+	ModeIDP = "idp"
+	// ModeGreedy is the minimum-intermediate-result left-deep heuristic:
+	// O(n²), no optimality guarantee, never fails — the ladder's floor.
+	ModeGreedy = "greedy"
+)
 
 // Query is a join-order optimization problem under construction. The zero
 // value is not usable; call NewQuery.
@@ -145,6 +179,9 @@ func (q *Query) build() (core.Query, error) {
 type config struct {
 	opts      core.Options
 	attachAlg bool
+	ctx       context.Context
+	timeout   time.Duration
+	ladder    bool
 }
 
 // Option configures Optimize.
@@ -236,6 +273,70 @@ func WithAlgorithms() Option {
 	}
 }
 
+// WithContext bounds the optimization by the context: cancellation or
+// deadline stops the run cooperatively (within a few thousand split loops)
+// and Optimize returns a *BudgetError wrapping ErrBudgetExceeded and the
+// context's error — unless WithDeadlineLadder is also set, in which case a
+// deadline degrades to cheaper optimizers instead of failing.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) error {
+		if ctx == nil {
+			return errors.New("blitzsplit: nil context")
+		}
+		c.ctx = ctx
+		return nil
+	}
+}
+
+// WithTimeout bounds the optimization to d of wall time; it is WithContext
+// with a deadline d from the moment Optimize is called. Combine with
+// WithDeadlineLadder to get a (possibly degraded) plan instead of an error
+// when the budget runs out.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return errors.New("blitzsplit: timeout must be positive")
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithMemoryBudget rejects the optimization up front — before anything is
+// allocated — when the DP table's exact footprint (four 2^n-element columns;
+// see core.TableFootprint) exceeds budget bytes. Without WithDeadlineLadder
+// the rejection surfaces as a *BudgetError; with it, the ladder skips
+// straight to the bounded-memory rungs (IDP, then greedy).
+func WithMemoryBudget(budget uint64) Option {
+	return func(c *config) error {
+		if budget == 0 {
+			return errors.New("blitzsplit: memory budget must be positive")
+		}
+		c.opts.MemoryBudget = budget
+		return nil
+	}
+}
+
+// WithDeadlineLadder makes Optimize degrade instead of fail when a budget
+// (WithTimeout, WithContext deadline, WithMemoryBudget) runs out, walking a
+// ladder of ever-cheaper optimizers and recording the winning rung in
+// Result.Mode:
+//
+//	exhaustive → threshold-pruned exhaustive → bounded IDP + polish → greedy
+//
+// With a deadline, each attempted rung gets half the remaining budget so
+// lower rungs always retain time to run; the greedy floor is O(n²) and needs
+// effectively none. Every rung's plan passes Result.Verify. Explicit
+// cancellation (context.Canceled, as opposed to a deadline) aborts the
+// ladder and returns the budget error: a caller that cancelled wants no
+// answer at all.
+func WithDeadlineLadder() Option {
+	return func(c *config) error {
+		c.ladder = true
+		return nil
+	}
+}
+
 // Result is the outcome of Optimize.
 type Result struct {
 	// Plan is the optimal join tree.
@@ -246,6 +347,15 @@ type Result struct {
 	Cardinality float64
 	// Counters holds the §3.3 instrumentation for the run.
 	Counters Counters
+	// Mode records which optimizer produced the plan: ModeExhaustive for
+	// the full blitzsplit search, or the degradation-ladder rung
+	// (ModeThreshold, ModeIDP, ModeGreedy) that won under WithDeadlineLadder.
+	Mode string
+	// Degraded reports that a resource budget forced the plan off the
+	// exhaustive rung. A degraded plan is still well-formed and
+	// cost-consistent (it passes Verify), but only ModeThreshold retains
+	// the optimality guarantee.
+	Degraded bool
 
 	names []string
 	query core.Query
@@ -281,7 +391,11 @@ func (r *Result) Verify() error {
 }
 
 // Optimize runs Algorithm blitzsplit over the query and returns the optimal
-// bushy plan.
+// bushy plan. With a budget (WithTimeout, WithContext, WithMemoryBudget) the
+// run is governed: it stops cooperatively when the budget runs out, and —
+// under WithDeadlineLadder — degrades through threshold-pruned search,
+// bounded IDP, and a greedy floor instead of failing, recording the rung in
+// Result.Mode.
 func (q *Query) Optimize(options ...Option) (*Result, error) {
 	var cfg config
 	for _, o := range options {
@@ -296,26 +410,179 @@ func (q *Query) Optimize(options ...Option) (*Result, error) {
 	// The facade result never exposes the DP table; drop it eagerly rather
 	// than letting 2^n-element columns ride along until the next GC.
 	cfg.opts.DiscardTable = true
-	res, err := core.Optimize(cq, cfg.opts)
-	if err != nil {
-		return nil, err
+	ctx, cancel := cfg.budgetContext()
+	defer cancel()
+	if !cfg.ladder {
+		opts := cfg.opts
+		opts.Ctx = ctx
+		res, err := core.Optimize(cq, opts)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, q.cat.Names(), cq), nil
 	}
-	if cfg.attachAlg {
-		m := cfg.opts.Model
+	return optimizeLadder(cq, cfg, ctx, q.cat.Names())
+}
+
+// budgetContext derives the run's governing context from WithContext and
+// WithTimeout; nil when neither was given.
+func (c config) budgetContext() (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return c.ctx, func() {}
+	}
+	base := c.ctx
+	if base == nil {
+		base = context.Background()
+	}
+	return context.WithTimeout(base, c.timeout)
+}
+
+// finish assembles the facade Result for a plan produced by any rung.
+func (c config) finish(p *plan.Node, planCost, card float64, counters Counters, mode string, names []string, cq core.Query) *Result {
+	if c.attachAlg {
+		m := c.opts.Model
 		if m == nil {
 			m = cost.Naive{}
 		}
-		res.Plan.AttachAlgorithms(m)
+		p.AttachAlgorithms(m)
 	}
 	return &Result{
-		Plan:        res.Plan,
-		Cost:        res.Cost,
-		Cardinality: res.Cardinality,
-		Counters:    res.Counters,
-		names:       q.cat.Names(),
+		Plan:        p,
+		Cost:        planCost,
+		Cardinality: card,
+		Counters:    counters,
+		Mode:        mode,
+		Degraded:    mode != ModeExhaustive,
+		names:       names,
 		query:       cq,
-		model:       cfg.opts.Model,
-	}, nil
+		model:       c.opts.Model,
+	}
+}
+
+// rungSlice gives one ladder rung half the time remaining to the governing
+// deadline, so every lower rung retains budget to run in. Contexts without a
+// deadline (pure cancellation, memory-only budgets) pass through unchanged.
+func rungSlice(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		return nil, func() {}
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, time.Now().Add(remaining/2))
+}
+
+// ladderK picks the IDP block size for the ladder's hybrid rung: exact for
+// tiny queries, otherwise small enough that one DP round — the cancellation
+// granularity of hybrid.IDP — stays in the low milliseconds even at n ≈ 30.
+func ladderK(n int) int {
+	if n < 6 {
+		return n
+	}
+	return 6
+}
+
+// thresholdAbove returns a plan-cost threshold strictly above the given
+// upper bound, so a plan costing exactly the bound still survives the
+// threshold pass's strict comparisons.
+func thresholdAbove(bound float64) float64 {
+	return bound*(1+1e-9) + math.SmallestNonzeroFloat64
+}
+
+// optimizeLadder is the degradation ladder: exhaustive blitzsplit, then a
+// threshold-pruned pass seeded by a greedy upper bound, then bounded IDP
+// with randomized polish, then the greedy plan itself. Rungs are attempted
+// in order until one finishes inside the budget; the greedy floor always
+// does. Explicit cancellation aborts between rungs instead of degrading.
+func optimizeLadder(cq core.Query, cfg config, ctx context.Context, names []string) (*Result, error) {
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+
+	// Rung 1: exhaustive, within half the remaining budget.
+	faultinject.Inject(faultinject.FacadeRung)
+	opts := cfg.opts
+	rctx, cancel := rungSlice(ctx)
+	opts.Ctx = rctx
+	res, err := core.Optimize(cq, opts)
+	cancel()
+	if err == nil {
+		return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, names, cq), nil
+	}
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		return nil, err // ErrNoPlan, validation, … — not a budget problem
+	}
+	if errors.Is(ctxErr(), context.Canceled) {
+		return nil, err // the caller cancelled; they want out, not a fallback
+	}
+	var be *core.BudgetError
+	memoryBound := errors.As(err, &be) && be.Phase == core.PhaseAdmission
+
+	m := cfg.opts.Model
+	if m == nil {
+		m = cost.Naive{}
+	}
+	// The greedy bound seeds the threshold rung and is the ladder's floor.
+	greedy, gerr := baseline.GreedyLeftDeep(cq.Cards, cq.Graph, m)
+	if gerr != nil {
+		return nil, gerr
+	}
+
+	// Rung 2: threshold-pruned exhaustive. The greedy cost bounds the
+	// optimum from above, so a threshold just beyond it keeps the optimum
+	// reachable while the §6.4 pruning skips nearly all κ″ work. Pointless
+	// when the table itself was refused (same footprint) or time is up.
+	if !memoryBound && ctxErr() == nil {
+		faultinject.Inject(faultinject.FacadeRung)
+		topts := cfg.opts
+		rctx, cancel = rungSlice(ctx)
+		topts.Ctx = rctx
+		topts.CostThreshold = thresholdAbove(greedy.Cost)
+		res, err = core.Optimize(cq, topts)
+		cancel()
+		if err == nil {
+			return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeThreshold, names, cq), nil
+		}
+		if !errors.Is(err, core.ErrBudgetExceeded) {
+			return nil, err
+		}
+		if errors.Is(ctxErr(), context.Canceled) {
+			return nil, err
+		}
+	}
+
+	// Rung 3: bounded IDP plus polish — polynomial time, 2^K-sized tables.
+	if ctxErr() == nil {
+		faultinject.Inject(faultinject.FacadeRung)
+		rctx, cancel = rungSlice(ctx)
+		hres, herr := hybrid.ChainedLocal(cq.Cards, cq.Graph, m, hybrid.IDPOptions{
+			K:          ladderK(len(cq.Cards)),
+			Stochastic: baseline.StochasticOptions{Seed: 1},
+			Ctx:        rctx,
+		})
+		cancel()
+		if herr == nil {
+			return cfg.finish(hres.Plan, hres.Cost, hres.Plan.Card, Counters{}, ModeIDP, names, cq), nil
+		}
+		if !errors.Is(herr, context.Canceled) && !errors.Is(herr, context.DeadlineExceeded) {
+			return nil, herr
+		}
+		if errors.Is(ctxErr(), context.Canceled) {
+			return nil, err
+		}
+	}
+
+	// Rung 4: the greedy floor — O(n²), already computed, cannot fail.
+	faultinject.Inject(faultinject.FacadeRung)
+	return cfg.finish(greedy.Plan, greedy.Cost, greedy.Plan.Card, Counters{}, ModeGreedy, names, cq), nil
 }
 
 // RelSet is a set of relation indexes packed into a machine word — the §4.1
@@ -360,27 +627,21 @@ func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*
 			return nil, err
 		}
 	}
+	if cfg.ladder {
+		// The fallback rungs (IDP, greedy) estimate cardinalities from a
+		// binary join graph; a custom estimator has none to offer them.
+		return nil, errors.New("blitzsplit: WithDeadlineLadder is not supported with a custom estimator")
+	}
 	cfg.opts.DiscardTable = true
+	ctx, cancel := cfg.budgetContext()
+	defer cancel()
+	cfg.opts.Ctx = ctx
 	cq := core.Query{Cards: cards, Estimator: est}
 	res, err := core.Optimize(cq, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.attachAlg {
-		m := cfg.opts.Model
-		if m == nil {
-			m = cost.Naive{}
-		}
-		res.Plan.AttachAlgorithms(m)
-	}
-	return &Result{
-		Plan:        res.Plan,
-		Cost:        res.Cost,
-		Cardinality: res.Cardinality,
-		Counters:    res.Counters,
-		query:       cq,
-		model:       cfg.opts.Model,
-	}, nil
+	return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, nil, cq), nil
 }
 
 // OptimizeLarge optimizes queries beyond exhaustive reach (n into the 20s)
@@ -405,9 +666,12 @@ func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error)
 	if m == nil {
 		m = cost.Naive{}
 	}
+	ctx, cancel := cfg.budgetContext()
+	defer cancel()
 	res, err := hybrid.ChainedLocal(cq.Cards, cq.Graph, m, hybrid.IDPOptions{
 		K:          blockSize,
 		Stochastic: baseline.StochasticOptions{Seed: 1},
+		Ctx:        ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -419,6 +683,9 @@ func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error)
 		Plan:        res.Plan,
 		Cost:        res.Cost,
 		Cardinality: res.Plan.Card,
+		// The caller asked for the hybrid; Mode records it, but nothing was
+		// degraded away from.
+		Mode:        ModeIDP,
 		names:       q.cat.Names(),
 		query:       cq,
 		model:       m,

@@ -20,8 +20,13 @@
 //	-budget dur     minimum wall time per measured point (default 200ms)
 //	-maxn int       top n for fig2 and the parallel experiment (default 15)
 //	-parallel int   optimizer worker count for every experiment (0 = serial)
+//	-timeout dur    wall-time budget for the whole run; exceeding it exits 3
+//	-mem-budget b   refuse up front if the largest DP table exceeds b bytes (exit 3)
 //	-csv path       also write raw measurements as CSV
 //	-quiet          suppress per-case progress lines
+//
+// Exit codes: 0 success, 1 experiment failure, 2 usage error, 3 budget
+// exceeded (global timeout fired or memory admission refused the run).
 package main
 
 import (
@@ -29,10 +34,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"blitzsplit/internal/bench"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+)
+
+const (
+	exitUsage  = 2
+	exitBudget = 3
 )
 
 func main() {
@@ -42,14 +55,40 @@ func main() {
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
 	budget := fs.Duration("budget", 200*time.Millisecond, "minimum wall time per measured point")
+	timeout := fs.Duration("timeout", 0, "wall-time budget for the whole run (0 = none); exceeding it exits 3")
+	memBudget := fs.Uint64("mem-budget", 0, "byte budget for the largest DP table (0 = none); refusal exits 3")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress")
 	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if *exp == "" {
 		fs.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	// Memory admission: the biggest table any experiment will fill is for
+	// max(n, maxn) relations under the worst-case column set (join graph +
+	// memoizing model). Refuse before the sweep starts rather than OOM an
+	// hour in.
+	if *memBudget > 0 {
+		big := *n
+		if *maxN > big {
+			big = *maxN
+		}
+		if fp := core.TableFootprint(big, true, cost.SortMerge{}); fp > *memBudget {
+			fmt.Fprintln(os.Stderr, "blitzbench: table footprint "+strconv.FormatUint(fp, 10)+
+				" B at n="+strconv.Itoa(big)+" exceeds -mem-budget "+strconv.FormatUint(*memBudget, 10)+" B")
+			os.Exit(exitBudget)
+		}
+	}
+	// Global wall-time watchdog: experiments are long straight-line sweeps,
+	// so a hard process deadline is the honest budget — there is no partial
+	// result worth salvaging from a half-measured figure.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "blitzbench: wall-time budget %v exceeded\n", *timeout)
+			os.Exit(exitBudget)
+		})
 	}
 	var progress io.Writer = os.Stderr
 	if *quiet {

@@ -13,29 +13,105 @@
 //	-leftdeep        restrict the search to left-deep vines
 //	-parallel w      fill the DP table with w parallel workers (0 = serial)
 //	-threshold v     plan-cost threshold (§6.4); re-optimizes ×1000 on failure
+//	-timeout d       wall-time budget (e.g. 50ms); exceeding it exits 3
+//	-mem-budget b    DP-table memory budget (e.g. 64MiB); exceeding it exits 3
+//	-ladder          degrade to cheaper optimizers instead of failing on budget
 //	-algorithms      annotate joins with the winning algorithm (min models)
 //	-json            emit the plan as JSON instead of the ASCII tree
 //	-counters        print the instrumentation counters
+//
+// Exit codes: 0 success, 1 generic failure, 2 usage error, 3 budget
+// exceeded (timeout, cancellation, or memory admission), 4 no plan within
+// the overflow cost limit.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"blitzsplit"
 	"blitzsplit/internal/core"
-	"blitzsplit/internal/cost"
 	"blitzsplit/internal/spec"
 )
 
+// Distinct exit codes so scripts and orchestration can react to budget
+// failures (retry with a bigger budget, route to a fallback optimizer)
+// without parsing stderr.
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitUsage  = 2
+	exitBudget = 3
+	exitNoPlan = 4
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "blitzsplit:", err)
-		os.Exit(1)
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, out, errOut io.Writer) int {
+	err := run(args, out)
+	if err == nil {
+		return exitOK
 	}
+	fmt.Fprintln(errOut, "blitzsplit:", err)
+	return exitCode(err)
+}
+
+// exitCode maps an error to the command's exit-code contract.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errUsage):
+		return exitUsage
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return exitBudget
+	case errors.Is(err, core.ErrNoPlan):
+		return exitNoPlan
+	}
+	return exitError
+}
+
+// errUsage marks command-line misuse (bad flags, wrong arguments).
+var errUsage = errors.New("usage error")
+
+// parseBytes parses a byte count with an optional binary-unit suffix:
+// "1048576", "64KiB"/"64KB"/"64K", "32MiB", "2GiB". Units are powers of
+// 1024.
+func parseBytes(s string) (uint64, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	var shift uint
+	for _, u := range []struct {
+		suffix string
+		shift  uint
+	}{
+		{"KIB", 10}, {"MIB", 20}, {"GIB", 30},
+		{"KB", 10}, {"MB", 20}, {"GB", 30},
+		{"K", 10}, {"M", 20}, {"G", 30},
+	} {
+		if strings.HasSuffix(upper, u.suffix) && len(upper) > len(u.suffix) {
+			shift = u.shift
+			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
+			break
+		}
+	}
+	v, err := strconv.ParseUint(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte count %q (use e.g. 1048576, 64KiB, 32MiB)", s)
+	}
+	if shift > 0 && v > (uint64(1)<<(64-shift))-1 {
+		return 0, fmt.Errorf("byte count %q overflows", s)
+	}
+	return v << shift, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -44,12 +120,15 @@ func run(args []string, out io.Writer) error {
 	leftDeep := fs.Bool("leftdeep", false, "restrict search to left-deep vines")
 	parallel := fs.Int("parallel", 0, "DP fill worker count (0 = serial)")
 	threshold := fs.Float64("threshold", 0, "plan-cost threshold (0 = disabled)")
+	timeout := fs.Duration("timeout", 0, "wall-time budget, e.g. 50ms (0 = none)")
+	memBudget := fs.String("mem-budget", "", "DP-table memory budget, e.g. 64MiB (empty = none)")
+	ladder := fs.Bool("ladder", false, "degrade to cheaper optimizers instead of failing on budget")
 	algorithms := fs.Bool("algorithms", false, "annotate joins with the winning physical algorithm")
 	asJSON := fs.Bool("json", false, "emit the plan as JSON")
 	counters := fs.Bool("counters", false, "print instrumentation counters")
 	example := fs.Bool("example", false, "print a sample query spec and exit")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if *example {
 		data, err := json.MarshalIndent(spec.Example(), "", "  ")
@@ -60,7 +139,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected exactly one spec file (got %d args); see -example", fs.NArg())
+		return fmt.Errorf("%w: expected exactly one spec file (got %d args); see -example", errUsage, fs.NArg())
 	}
 	var f *spec.File
 	var err error
@@ -76,24 +155,53 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, names, err := f.Query()
-	if err != nil {
-		return err
+
+	// Rebuild the spec as a facade query so the budget governance —
+	// cooperative deadlines, memory admission, the degradation ladder —
+	// drives the optimization.
+	q := blitzsplit.NewQuery()
+	for _, r := range f.Relations {
+		if err := q.AddRelation(r.Name, r.Cardinality); err != nil {
+			return err
+		}
 	}
-	model, err := cost.ByName(*modelName)
-	if err != nil {
-		return err
+	for _, j := range f.Joins {
+		if err := q.Join(j.A, j.B, j.Selectivity); err != nil {
+			return err
+		}
 	}
-	opts := core.Options{Model: model, LeftDeep: *leftDeep, CostThreshold: *threshold, Parallelism: *parallel}
+	options := []blitzsplit.Option{blitzsplit.WithCostModel(*modelName)}
+	if *leftDeep {
+		options = append(options, blitzsplit.WithLeftDeep())
+	}
+	if *parallel > 0 {
+		options = append(options, blitzsplit.WithParallelism(*parallel))
+	}
+	if *threshold > 0 {
+		options = append(options, blitzsplit.WithCostThreshold(*threshold))
+	}
+	if *timeout > 0 {
+		options = append(options, blitzsplit.WithTimeout(*timeout))
+	}
+	if *memBudget != "" {
+		b, err := parseBytes(*memBudget)
+		if err != nil {
+			return fmt.Errorf("%w: -mem-budget: %v", errUsage, err)
+		}
+		options = append(options, blitzsplit.WithMemoryBudget(b))
+	}
+	if *ladder {
+		options = append(options, blitzsplit.WithDeadlineLadder())
+	}
+	if *algorithms {
+		options = append(options, blitzsplit.WithAlgorithms())
+	}
 	start := time.Now()
-	res, err := core.Optimize(q, opts)
+	res, err := q.Optimize(options...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	if *algorithms {
-		res.Plan.AttachAlgorithms(model)
-	}
 	if *asJSON {
 		data, err := res.Plan.MarshalIndent()
 		if err != nil {
@@ -101,9 +209,14 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, string(data))
 	} else {
-		fmt.Fprintf(out, "expression:  %s\n", res.Plan.Expression(names))
-		fmt.Fprintf(out, "cost:        %.6g  (model %s)\n", res.Cost, model.Name())
+		fmt.Fprintf(out, "expression:  %s\n", res.Expression())
+		fmt.Fprintf(out, "cost:        %.6g  (model %s)\n", res.Cost, *modelName)
 		fmt.Fprintf(out, "cardinality: %.6g\n", res.Cardinality)
+		if res.Degraded {
+			fmt.Fprintf(out, "mode:        %s (degraded by budget)\n", res.Mode)
+		} else {
+			fmt.Fprintf(out, "mode:        %s\n", res.Mode)
+		}
 		fmt.Fprintf(out, "optimized in %v (%d pass(es))\n\n", elapsed, res.Counters.Passes)
 		fmt.Fprintln(out, res.Plan)
 	}

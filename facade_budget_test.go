@@ -1,0 +1,291 @@
+package blitzsplit
+
+// Tests for the facade's resource governance: WithTimeout / WithContext /
+// WithMemoryBudget and the WithDeadlineLadder degradation ladder. Rung
+// transitions are made deterministic with internal/faultinject hooks; the
+// only wall-clock assertions are the acceptance bound on the n=22 chain and
+// generous anti-hang ceilings.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/faultinject"
+)
+
+// ladderChain builds an n-relation chain query with cardinalities large
+// enough that plans differ in cost.
+func ladderChain(n int) *Query {
+	q := NewQuery()
+	for i := 0; i < n; i++ {
+		q.MustAddRelation(fmt.Sprintf("T%d", i), float64(100+13*i))
+	}
+	for i := 1; i < n; i++ {
+		q.MustJoin(fmt.Sprintf("T%d", i-1), fmt.Sprintf("T%d", i), 0.01)
+	}
+	return q
+}
+
+// countRungs registers a FacadeRung counter for the test's duration.
+func countRungs(t *testing.T) *atomic.Int32 {
+	t.Helper()
+	var n atomic.Int32
+	faultinject.Set(faultinject.FacadeRung, func() { n.Add(1) })
+	t.Cleanup(faultinject.Reset)
+	return &n
+}
+
+// requireVerified fails unless the result passes the full correctness audit
+// — the ladder's contract is that every rung's plan does.
+func requireVerified(t *testing.T, res *Result) {
+	t.Helper()
+	if res == nil || res.Plan == nil {
+		t.Fatal("no result")
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestLadderMemoryBudgetFallsToIDP: a memory budget the 2^n table cannot fit
+// skips the exhaustive and threshold rungs (same footprint) and lands on
+// IDP, deterministically — no clocks involved.
+func TestLadderMemoryBudgetFallsToIDP(t *testing.T) {
+	rungs := countRungs(t)
+	res, err := ladderChain(10).Optimize(WithMemoryBudget(1024), WithDeadlineLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeIDP || !res.Degraded {
+		t.Fatalf("mode = %q degraded = %v, want %q degraded", res.Mode, res.Degraded, ModeIDP)
+	}
+	if got := rungs.Load(); got != 2 { // exhaustive (refused at admission) + IDP
+		t.Fatalf("rungs attempted = %d, want 2", got)
+	}
+	requireVerified(t, res)
+	if res.Plan.Set != bitset.Full(10) {
+		t.Fatalf("plan covers %v, want all 10 relations", res.Plan.Set)
+	}
+}
+
+// TestLadderWithoutLadderMemoryBudgetFails: the same budget without
+// WithDeadlineLadder is a hard typed failure.
+func TestLadderWithoutLadderMemoryBudgetFails(t *testing.T) {
+	res, err := ladderChain(10).Optimize(WithMemoryBudget(1024))
+	if res != nil {
+		t.Fatal("rejected run returned a result")
+	}
+	var be *BudgetError
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError wrapping ErrBudgetExceeded", err)
+	}
+	if be.Budget != 1024 || be.Footprint == 0 {
+		t.Fatalf("budget error = %+v", be)
+	}
+}
+
+// TestLadderExpiredDeadlineFallsToGreedy: a deadline that is already spent
+// when every timed rung starts leaves only the greedy floor, which needs no
+// budget at all.
+func TestLadderExpiredDeadlineFallsToGreedy(t *testing.T) {
+	rungs := countRungs(t)
+	res, err := ladderChain(12).Optimize(WithTimeout(time.Nanosecond), WithDeadlineLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeGreedy || !res.Degraded {
+		t.Fatalf("mode = %q degraded = %v, want %q degraded", res.Mode, res.Degraded, ModeGreedy)
+	}
+	// Exhaustive is attempted (and stopped), threshold and IDP are skipped
+	// outright with the deadline gone, greedy closes.
+	if got := rungs.Load(); got != 2 {
+		t.Fatalf("rungs attempted = %d, want 2", got)
+	}
+	requireVerified(t, res)
+	if !res.Plan.IsLeftDeep() {
+		t.Fatal("greedy rung produced a non-left-deep plan")
+	}
+}
+
+// TestLadderThresholdRung: a fault-injected stall burns the exhaustive
+// rung's time slice; the threshold rung (seeded just above the greedy bound)
+// then completes and must return the true optimum — ModeThreshold keeps the
+// optimality guarantee whenever it finishes.
+func TestLadderThresholdRung(t *testing.T) {
+	q := ladderChain(12)
+	ref, err := ladderChain(12).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(faultinject.Reset)
+	var once sync.Once
+	faultinject.Set(faultinject.CoreFillLayer, func() {
+		once.Do(func() {
+			// Out-sleep rung 1's slice (half of 2 s), then get out of the
+			// way so rung 2's fill runs clean.
+			faultinject.Set(faultinject.CoreFillLayer, nil)
+			time.Sleep(1500 * time.Millisecond)
+		})
+	})
+	res, err := q.Optimize(WithTimeout(2*time.Second), WithDeadlineLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeThreshold || !res.Degraded {
+		t.Fatalf("mode = %q degraded = %v, want %q degraded", res.Mode, res.Degraded, ModeThreshold)
+	}
+	if res.Cost != ref.Cost {
+		t.Fatalf("threshold rung cost %v, exhaustive optimum %v", res.Cost, ref.Cost)
+	}
+	requireVerified(t, res)
+}
+
+// TestLadderExplicitCancelAborts: cancellation — unlike a deadline — means
+// the caller wants out; the ladder must not degrade past it.
+func TestLadderExplicitCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ladderChain(10).Optimize(WithContext(ctx), WithDeadlineLadder())
+	if res != nil {
+		t.Fatal("cancelled ladder returned a result")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded ∧ context.Canceled", err)
+	}
+}
+
+// TestDeadlineLadderAcceptance is the PR's acceptance scenario: a 50 ms
+// deadline on an n=22 chain query — far beyond exhaustive reach in that
+// budget — must come back promptly with a verified degraded plan.
+func TestDeadlineLadderAcceptance(t *testing.T) {
+	const deadline = 50 * time.Millisecond
+	q := ladderChain(22)
+	start := time.Now()
+	res, err := q.Optimize(WithTimeout(deadline), WithDeadlineLadder())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rung slices sum to under the deadline and each stop reacts within
+	// a ~1024-subset stride, so the logical bound is ~2× the deadline; the
+	// rest of the margin absorbs CI scheduling and allocation noise.
+	if elapsed > 10*deadline {
+		t.Fatalf("returned in %v, want ≈%v", elapsed, deadline)
+	}
+	if !res.Degraded || res.Mode == ModeExhaustive {
+		t.Fatalf("mode = %q degraded = %v, want a degraded rung", res.Mode, res.Degraded)
+	}
+	requireVerified(t, res)
+	if res.Plan.Set != bitset.Full(22) {
+		t.Fatalf("plan covers %v, want all 22 relations", res.Plan.Set)
+	}
+}
+
+// TestDeadlineWithoutLadderFailsTyped: the same hopeless deadline without
+// the ladder is a prompt, typed failure — never a hang.
+func TestDeadlineWithoutLadderFailsTyped(t *testing.T) {
+	const deadline = 50 * time.Millisecond
+	start := time.Now()
+	res, err := ladderChain(22).Optimize(WithTimeout(deadline))
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Fatal("budget-stopped run returned a result")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded ∧ DeadlineExceeded", err)
+	}
+	if elapsed > 10*deadline {
+		t.Fatalf("failure took %v, want ≈%v", elapsed, deadline)
+	}
+}
+
+// TestLadderSmallQueryStaysExhaustive: with a roomy budget the ladder's
+// first rung wins and nothing is degraded.
+func TestLadderSmallQueryStaysExhaustive(t *testing.T) {
+	ref, err := ladderChain(8).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ladderChain(8).Optimize(WithTimeout(time.Minute), WithDeadlineLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeExhaustive || res.Degraded {
+		t.Fatalf("mode = %q degraded = %v, want clean exhaustive", res.Mode, res.Degraded)
+	}
+	if res.Cost != ref.Cost {
+		t.Fatalf("ladder cost %v, plain cost %v", res.Cost, ref.Cost)
+	}
+	requireVerified(t, res)
+}
+
+// TestOptionValidation: budget options reject nonsense inputs.
+func TestOptionValidation(t *testing.T) {
+	q := ladderChain(3)
+	if _, err := q.Optimize(WithTimeout(0)); err == nil {
+		t.Error("WithTimeout(0) accepted")
+	}
+	if _, err := q.Optimize(WithTimeout(-time.Second)); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if _, err := q.Optimize(WithMemoryBudget(0)); err == nil {
+		t.Error("WithMemoryBudget(0) accepted")
+	}
+	if _, err := q.Optimize(WithContext(nil)); err == nil { //nolint:staticcheck // deliberate misuse
+		t.Error("nil context accepted")
+	}
+}
+
+// TestEstimatorRejectsLadder: the fallback rungs need a binary join graph
+// for cardinalities, so the estimator entry point refuses the ladder.
+func TestEstimatorRejectsLadder(t *testing.T) {
+	_, err := OptimizeWithEstimator([]float64{2, 3}, unitEstimator{}, WithDeadlineLadder())
+	if err == nil || !strings.Contains(err.Error(), "WithDeadlineLadder") {
+		t.Fatalf("err = %v, want a ladder-unsupported error", err)
+	}
+}
+
+// unitEstimator is the trivial estimator: no predicates, pure products.
+type unitEstimator struct{}
+
+func (unitEstimator) StepFactor(bitset.Set) float64 { return 1 }
+
+// TestEstimatorExpressionFallsBackToIndexes is the regression test for the
+// Expression crash on name-less results: OptimizeWithEstimator carries no
+// relation names, and Expression must render R<i> placeholders instead of
+// panicking on the nil name slice.
+func TestEstimatorExpressionFallsBackToIndexes(t *testing.T) {
+	res, err := OptimizeWithEstimator([]float64{2, 3, 4}, unitEstimator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := res.Expression()
+	for _, want := range []string{"R0", "R1", "R2"} {
+		if !strings.Contains(expr, want) {
+			t.Fatalf("Expression() = %q, missing %s", expr, want)
+		}
+	}
+}
+
+// TestEstimatorHonorsContext: the estimator entry point shares the budget
+// plumbing.
+func TestEstimatorHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cards := make([]float64, 14)
+	for i := range cards {
+		cards[i] = float64(10 + i)
+	}
+	_, err := OptimizeWithEstimator(cards, unitEstimator{}, WithContext(ctx))
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded ∧ context.Canceled", err)
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+)
+
+// budgetChainQuery builds an n-relation chain query (the paper's hardest
+// realistic topology for large n) on the standard cardinality ladder.
+func budgetChainQuery(n int) Query {
+	cards := joingraph.CardinalityLadder(n, 464, 0.5)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return Query{Cards: cards, Graph: joingraph.Build(joingraph.ChainEdges(order), cards)}
+}
+
+// TestTableFootprintExact pins the admission formula to the table layout:
+// card+cost+bestLHS always, fan only with a graph, memo only for memoizing
+// models.
+func TestTableFootprintExact(t *testing.T) {
+	cases := []struct {
+		n        int
+		hasGraph bool
+		model    cost.Model
+		want     uint64
+	}{
+		{10, false, cost.Naive{}, 20 << 10},     // card + cost + bestLHS
+		{10, true, cost.Naive{}, 28 << 10},      // + fan
+		{10, true, cost.SortMerge{}, 36 << 10},  // + memo (κsm memoizes)
+		{10, false, cost.SortMerge{}, 28 << 10}, // memo without fan
+		{10, false, nil, 20 << 10},              // nil model defaults to naive
+		{1, false, cost.Naive{}, 40},
+		{22, true, cost.SortMerge{}, 36 << 22},
+	}
+	for _, c := range cases {
+		if got := TableFootprint(c.n, c.hasGraph, c.model); got != c.want {
+			t.Errorf("TableFootprint(%d, %v, %v) = %d, want %d", c.n, c.hasGraph, c.model, got, c.want)
+		}
+	}
+}
+
+// TestMemoryAdmissionRejectsBeforeAllocating: a budget one byte below the
+// exact footprint is refused with a typed admission error carrying both
+// sizes; a budget exactly at the footprint is admitted and optimizes
+// normally.
+func TestMemoryAdmissionRejectsBeforeAllocating(t *testing.T) {
+	q := budgetChainQuery(12)
+	fp := TableFootprint(12, true, cost.SortMerge{})
+	opts := Options{Model: cost.SortMerge{}, MemoryBudget: fp - 1}
+	res, err := Optimize(q, opts)
+	if res != nil {
+		t.Fatal("rejected run returned a result")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *BudgetError", err)
+	}
+	if be.Phase != PhaseAdmission || be.Footprint != fp || be.Budget != fp-1 {
+		t.Fatalf("admission error = %+v, want phase %q footprint %d budget %d",
+			be, PhaseAdmission, fp, fp-1)
+	}
+	if be.SubsetsFilled != 0 || be.Elapsed != 0 {
+		t.Fatalf("admission rejection reports progress: %+v", be)
+	}
+	// Deadline sentinels must not match an admission rejection.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		t.Fatalf("admission error matches a context sentinel: %v", err)
+	}
+
+	opts.MemoryBudget = fp
+	ok, err := Optimize(q, opts)
+	if err != nil {
+		t.Fatalf("budget == footprint refused: %v", err)
+	}
+	ref, err := Optimize(q, Options{Model: cost.SortMerge{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Cost != ref.Cost || !samePlan(ok.Plan, ref.Plan) {
+		t.Fatal("admitted run diverges from unbudgeted run")
+	}
+}
+
+// TestPreCancelledContext: an already-dead context returns promptly (no
+// table work) with an error matching both ErrBudgetExceeded and
+// context.Canceled.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := OptimizeCtx(ctx, budgetChainQuery(18), Options{})
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded ∧ context.Canceled", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *BudgetError", err)
+	}
+	if be.Phase != PhaseProperties || be.SubsetsFilled != 0 {
+		t.Fatalf("pre-cancelled error = %+v, want untouched properties phase", be)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("pre-cancelled run took %v", elapsed)
+	}
+}
+
+// TestDeadlineStopsFill: a deadline far shorter than the n=18 fill stops
+// both the serial and the parallel schedule cooperatively, well before the
+// full 3^18 split loop could finish, with a deadline-typed fill error.
+func TestDeadlineStopsFill(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	q := budgetChainQuery(18)
+	for _, workers := range []int{0, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		start := time.Now()
+		res, err := OptimizeCtx(ctx, q, Options{Parallelism: workers})
+		elapsed := time.Since(start)
+		cancel()
+		if res != nil {
+			t.Fatalf("workers=%d: budget-stopped run returned a result", workers)
+		}
+		if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudgetExceeded ∧ DeadlineExceeded", workers, err)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: err = %T, want *BudgetError", workers, err)
+		}
+		if be.Phase != PhaseProperties && be.Phase != PhaseFill {
+			t.Fatalf("workers=%d: phase = %q", workers, be.Phase)
+		}
+		// The check stride bounds the overshoot to a few thousand split
+		// loops; anything near the full fill (seconds) means the stop never
+		// took. The wide margin absorbs CI scheduling noise only.
+		if elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: stop took %v", workers, elapsed)
+		}
+	}
+}
+
+// TestNoGoroutineLeakAfterCancellation hammers budget-stopped parallel runs
+// and then requires the goroutine count to settle back to its baseline:
+// neither fill workers nor budget watchers may outlive OptimizeCtx.
+func TestNoGoroutineLeakAfterCancellation(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	q := budgetChainQuery(16)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if _, err := OptimizeCtx(ctx, q, Options{Parallelism: 4}); err == nil {
+			// A 1 ms budget occasionally suffices on a fast machine — fine;
+			// the run must just not leak either way.
+			t.Logf("iteration %d finished inside the budget", i)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// A couple of runtime-internal goroutines (timer scavenger etc.) can
+		// come and go; allow a small cushion above the baseline.
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTableReusableAfterBudgetStop: a Table abandoned mid-fill by a budget
+// stop must be safely resettable — the next OptimizeWith on it has to be
+// bit-identical to a fresh-table run.
+func TestTableReusableAfterBudgetStop(t *testing.T) {
+	small, err := Optimize(budgetChainQuery(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := small.Table
+	if tbl == nil {
+		t.Fatal("seed run did not retain its table")
+	}
+
+	q := budgetChainQuery(14)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeWith(tbl, q, Options{Ctx: ctx}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+
+	reused, err := OptimizeWith(tbl, q, Options{})
+	if err != nil {
+		t.Fatalf("reuse after budget stop: %v", err)
+	}
+	fresh, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.Cost != fresh.Cost || reused.Cardinality != fresh.Cardinality ||
+		!samePlan(reused.Plan, fresh.Plan) || !reflect.DeepEqual(reused.Counters, fresh.Counters) {
+		t.Fatal("table reused after a budget stop diverges from a fresh table")
+	}
+}
+
+// TestParallelismClampedToGOMAXPROCS: absurd worker counts are clamped to
+// the scheduler's capacity, and the clamped run stays bit-identical to the
+// serial fill — plan, cost, cardinality and merged counters.
+func TestParallelismClampedToGOMAXPROCS(t *testing.T) {
+	if got, want := (Options{Parallelism: 1 << 20}).workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := (Options{Parallelism: -3}).workers(); got != 0 {
+		t.Fatalf("workers() = %d for negative parallelism, want 0 (serial)", got)
+	}
+	q := budgetChainQuery(10)
+	serial, err := Optimize(q, Options{Model: cost.SortMerge{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := Optimize(q, Options{Model: cost.SortMerge{}, Parallelism: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Cost != serial.Cost || clamped.Cardinality != serial.Cardinality {
+		t.Fatalf("clamped fill cost %v/%v, serial %v/%v",
+			clamped.Cost, clamped.Cardinality, serial.Cost, serial.Cardinality)
+	}
+	if !samePlan(clamped.Plan, serial.Plan) {
+		t.Fatal("clamped fill plan differs from serial")
+	}
+	if !reflect.DeepEqual(clamped.Counters, serial.Counters) {
+		t.Fatalf("clamped counters %+v, serial %+v", clamped.Counters, serial.Counters)
+	}
+}
+
+// TestThresholdEscalatesToUnthresholdedFinalPass: an initial threshold no
+// plan can meet must escalate pass by pass and finish on the unthresholded
+// final pass with the true optimum — never a spurious ErrNoPlan.
+func TestThresholdEscalatesToUnthresholdedFinalPass(t *testing.T) {
+	q := budgetChainQuery(8)
+	ref, err := Optimize(q, Options{Model: cost.SortMerge{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxPasses := range []int{1, 3, 0} { // 0 selects the default (10)
+		res, err := Optimize(q, Options{
+			Model:         cost.SortMerge{},
+			CostThreshold: math.SmallestNonzeroFloat64,
+			MaxPasses:     maxPasses,
+		})
+		if err != nil {
+			t.Fatalf("MaxPasses=%d: %v", maxPasses, err)
+		}
+		if res.Cost != ref.Cost || !samePlan(res.Plan, ref.Plan) {
+			t.Fatalf("MaxPasses=%d: escalated result differs from unthresholded optimum", maxPasses)
+		}
+		want := maxPasses
+		if want == 0 {
+			want = 10 // growth ×1000 from 5e-324 can't reach the limit first
+		}
+		if res.Counters.Passes != want {
+			t.Fatalf("MaxPasses=%d: Passes = %d, want %d", maxPasses, res.Counters.Passes, want)
+		}
+	}
+}

@@ -9,9 +9,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/cost"
@@ -114,10 +116,27 @@ type Options struct {
 	// paper's serial numeric-order fill, unchanged. w ≥ 1 runs the
 	// rank-layer parallel fill with w workers: subsets of popcount k depend
 	// only on subsets of popcount < k, so each layer is partitioned across
-	// workers with a barrier between layers. Values beyond GOMAXPROCS add
-	// overhead without speedup. The parallel fill is bit-identical to the
-	// serial one — same plan, same costs, equal merged counter totals.
+	// workers with a barrier between layers. Values beyond
+	// runtime.GOMAXPROCS(0) would only add overhead and are clamped down to
+	// it; the clamp cannot change results because the parallel fill is
+	// bit-identical to the serial one — same plan, same costs, equal merged
+	// counter totals — at every worker count.
 	Parallelism int
+	// Ctx, when non-nil, bounds the run: its cancellation or deadline stops
+	// the property and cost fills cooperatively at the next check boundary
+	// (rank layers and worker chunks in the parallel schedule, a
+	// 1024-subset stride in the serial one) and Optimize returns a
+	// *BudgetError wrapping ErrBudgetExceeded and the context's error. A
+	// stopped run leaves the Table safely resettable and leaks no
+	// goroutines. OptimizeCtx is the convenience wrapper that sets this.
+	Ctx context.Context
+	// MemoryBudget, in bytes, rejects the run up front — before anything is
+	// allocated — when the DP table's exact footprint (TableFootprint)
+	// exceeds it, returning a *BudgetError with Phase PhaseAdmission. The
+	// admission decision depends only on the query shape, never on whether
+	// a reused table's capacity happens to suffice, so a given query is
+	// accepted or rejected deterministically. 0 means no limit.
+	MemoryBudget uint64
 	// DiscardTable drops the DP table from the Result. The table holds four
 	// 2^n-element columns (≈ 28 B per subset — hundreds of MB at n ≥ 24);
 	// by default Result retains it for inspection, pinning that memory for
@@ -157,6 +176,12 @@ func (o Options) maxPasses() int {
 func (o Options) workers() int {
 	if o.Parallelism < 0 {
 		return 0
+	}
+	// More workers than GOMAXPROCS can ever run just adds spawn overhead
+	// and barrier latency; results are schedule-independent, so the clamp
+	// is invisible except in speed.
+	if max := runtime.GOMAXPROCS(0); o.Parallelism > max {
+		return max
 	}
 	return o.Parallelism
 }
@@ -230,6 +255,16 @@ func Optimize(q Query, opts Options) (*Result, error) {
 	return OptimizeWith(nil, q, opts)
 }
 
+// OptimizeCtx runs Algorithm blitzsplit under the context's deadline and
+// cancellation: it is Optimize with opts.Ctx set. When the context fires
+// mid-run the fill stops cooperatively within a few thousand split loops and
+// the returned error is a *BudgetError wrapping both ErrBudgetExceeded and
+// ctx.Err().
+func OptimizeCtx(ctx context.Context, q Query, opts Options) (*Result, error) {
+	opts.Ctx = ctx
+	return OptimizeWith(nil, q, opts)
+}
+
 // OptimizeWith runs Algorithm blitzsplit reusing the given table's backing
 // storage (Reset to the query's shape first); t == nil allocates a fresh
 // table. Callers optimizing many queries back to back — the harness, the
@@ -242,12 +277,29 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 		return nil, err
 	}
 	n := len(q.Cards)
+	// Memory admission control: reject before allocating rather than OOM
+	// after. The footprint formula is exact for the table's columns.
+	if opts.MemoryBudget > 0 {
+		if fp := TableFootprint(n, q.Graph != nil, opts.model()); fp > opts.MemoryBudget {
+			return nil, &BudgetError{Phase: PhaseAdmission, Footprint: fp, Budget: opts.MemoryBudget}
+		}
+	}
+	bg := startBudget(opts.Ctx)
+	defer bg.release()
+	if bg.halted() {
+		// The budget was spent before the run began (e.g. a lower ladder rung
+		// entered after the governing deadline passed); return before paying
+		// for the 2^n table allocation.
+		return nil, bg.exceeded(PhaseProperties)
+	}
 	if t == nil {
 		t = NewTable(n, q.Graph != nil, opts.model())
 	} else {
 		t.Reset(n, q.Graph != nil, opts.model())
 	}
-	t.InitProperties(q, opts.workers())
+	if err := t.initProperties(q, opts.workers(), bg); err != nil {
+		return nil, err
+	}
 
 	var total Counters
 	limit := opts.overflowLimit()
@@ -260,9 +312,12 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 		if pass == maxPasses && threshold < limit {
 			threshold = limit // last chance: drop the artificial threshold
 		}
-		c := t.FillCosts(q, opts, threshold)
+		c, err := t.fillCosts(q, opts, threshold, bg)
 		total.Add(c)
 		total.Passes = pass
+		if err != nil {
+			return nil, err
+		}
 		if t.Cost(t.full) < math.Inf(1) {
 			break
 		}

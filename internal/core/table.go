@@ -6,6 +6,7 @@ import (
 
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/cost"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/plan"
 )
 
@@ -145,6 +146,20 @@ func (t *Table) BestLHS(s bitset.Set) bitset.Set { return bitset.Set(t.bestLHS[s
 // not required to be safe for concurrent StepFactor calls (Schema's
 // union-find compresses paths), so the estimator path always runs serially.
 func (t *Table) InitProperties(q Query, workers int) {
+	// The unbudgeted fill cannot fail.
+	_ = t.initProperties(q, workers, nil)
+}
+
+// initProperties is InitProperties under a cancellation budget: a halted
+// budget stops the fill at the next rank layer, worker chunk, or serial
+// 1024-subset stride and returns a *BudgetError for the properties phase.
+// A stopped table holds partial columns but remains safely resettable —
+// Reset never reads old contents, and every complete pass overwrites every
+// entry it reads.
+func (t *Table) initProperties(q Query, workers int, bg *budget) error {
+	if bg.halted() {
+		return bg.exceeded(PhaseProperties)
+	}
 	// init_singleton for each relation (§3.2).
 	for i := 0; i < t.n; i++ {
 		s := bitset.Single(i)
@@ -158,22 +173,44 @@ func (t *Table) InitProperties(q Query, workers int) {
 	}
 	if workers > 1 && q.Estimator == nil {
 		for k := 2; k <= t.n; k++ {
+			faultinject.Inject(faultinject.CorePropsLayer)
+			if bg.halted() {
+				return bg.exceeded(PhaseProperties)
+			}
 			t.runLayer(k, workers, func(_ int, s bitset.Set, count int) {
 				for j := 0; j < count; j++ {
+					if j&(budgetCheckStride-1) == 0 && bg.halted() {
+						bg.add(uint64(j))
+						return
+					}
 					t.initProperty(q, s)
 					s = bitset.NextKSubset(s)
 				}
+				bg.add(uint64(count))
 			})
 		}
-		return
+		if bg.halted() {
+			return bg.exceeded(PhaseProperties)
+		}
+		return nil
 	}
 	size := bitset.Set(1) << uint(t.n)
+	var filled uint64
 	for s := bitset.Set(3); s < size; s++ {
+		if s&(budgetCheckStride-1) == 0 {
+			faultinject.Inject(faultinject.CorePropsLayer)
+			if bg.halted() {
+				bg.add(filled)
+				return bg.exceeded(PhaseProperties)
+			}
+		}
 		if s.IsSingleton() {
 			continue
 		}
 		t.initProperty(q, s)
+		filled++
 	}
+	return nil
 }
 
 // initProperty fills the property columns of one non-singleton set via the
@@ -218,24 +255,43 @@ func (t *Table) initProperty(q Query, s bitset.Set) {
 // deterministic (fixed ascending enumeration, strict improvement — the
 // lowest competitive LHS wins regardless of schedule).
 func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
+	c, _ := t.fillCosts(q, opts, threshold, nil) // unbudgeted: cannot fail
+	return c
+}
+
+// fillCosts is FillCosts under a cancellation budget: a halted budget stops
+// the pass at the next rank layer, worker chunk, or serial 1024-subset
+// stride, returning the counters accumulated so far alongside a
+// *BudgetError for the fill phase.
+func (t *Table) fillCosts(q Query, opts Options, threshold float64, bg *budget) (Counters, error) {
+	if bg.halted() {
+		return Counters{}, bg.exceeded(PhaseFill)
+	}
 	for i := 0; i < t.n; i++ {
 		s := bitset.Single(i)
 		t.cost[s] = 0
 		t.bestLHS[s] = 0
 	}
 	if w := opts.workers(); w > 0 {
-		return t.fillCostsLayered(opts, threshold, w)
+		return t.fillCostsLayered(opts, threshold, w, bg)
 	}
 	var c Counters
 	size := bitset.Set(1) << uint(t.n)
 	for s := bitset.Set(3); s < size; s++ {
+		if s&(budgetCheckStride-1) == 0 {
+			faultinject.Inject(faultinject.CoreFillLayer)
+			if bg.halted() {
+				bg.add(c.SubsetsVisited)
+				return c, bg.exceeded(PhaseFill)
+			}
+		}
 		if s.IsSingleton() {
 			continue
 		}
 		c.SubsetsVisited++
 		t.findBestSplit(s, opts, threshold, &c)
 	}
-	return c
+	return c, nil
 }
 
 // fillCostsLayered is the parallel pass: rank layers k = 2 … n in turn, the
@@ -243,7 +299,7 @@ func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
 // handed to workers by striding, with a WaitGroup barrier between layers.
 // Each worker accumulates into its own padded Counters block; the blocks are
 // merged once at the end, so the totals are exact and contention-free.
-func (t *Table) fillCostsLayered(opts Options, threshold float64, workers int) Counters {
+func (t *Table) fillCostsLayered(opts Options, threshold float64, workers int, bg *budget) (Counters, error) {
 	if workers > len(t.workers) {
 		t.workers = make([]paddedCounters, workers)
 	}
@@ -251,9 +307,23 @@ func (t *Table) fillCostsLayered(opts Options, threshold float64, workers int) C
 		t.workers[i].c = Counters{}
 	}
 	for k := 2; k <= t.n; k++ {
+		faultinject.Inject(faultinject.CoreFillLayer)
+		if bg.halted() {
+			break
+		}
 		t.runLayer(k, workers, func(w int, s bitset.Set, count int) {
+			// A halted budget makes remaining chunks return immediately, so
+			// the layer barrier is reached within one chunk stride of the
+			// cancellation — workers park on the WaitGroup, never leak.
+			if bg.halted() {
+				return
+			}
+			faultinject.Inject(faultinject.CoreFillChunk)
 			c := &t.workers[w].c
 			for j := 0; j < count; j++ {
+				if j&(budgetCheckStride-1) == 0 && j > 0 && bg.halted() {
+					return
+				}
 				c.SubsetsVisited++
 				t.findBestSplit(s, opts, threshold, c)
 				s = bitset.NextKSubset(s)
@@ -264,7 +334,11 @@ func (t *Table) fillCostsLayered(opts Options, threshold float64, workers int) C
 	for w := 0; w < workers; w++ {
 		total.Add(t.workers[w].c)
 	}
-	return total
+	if bg.halted() {
+		bg.add(total.SubsetsVisited)
+		return total, bg.exceeded(PhaseFill)
+	}
+	return total, nil
 }
 
 // runLayer partitions rank layer k into chunks of consecutive k-subsets and

@@ -1,0 +1,88 @@
+// Package faultinject provides deterministic fault-injection hooks at the
+// resource-governance boundaries of the optimizer stack: rank-layer and
+// worker-chunk edges of the core DP fill, property-fill layers, hybrid IDP
+// rounds, and facade degradation-ladder rungs. Tests register hooks that
+// inject latency (sleep) or cancellation (cancel a context the code under
+// test is running with) at an exact boundary, making every budget-driven
+// code path — deadline hits mid-layer, rung-to-rung fallbacks — unit-testable
+// without timing races.
+//
+// In production no hook is registered and Inject is a single atomic load; the
+// package costs nothing on the hot path and is safe to leave compiled in.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies one injection site. Sites are coarse boundaries — layers,
+// chunks, rounds, rungs — never per-subset work, so even an active hook
+// observes the same schedule the production code runs.
+type Point string
+
+const (
+	// CorePropsLayer fires at the start of each property-fill rank layer
+	// (parallel schedule) or checkpoint stride (serial schedule).
+	CorePropsLayer Point = "core.props.layer"
+	// CoreFillLayer fires at the start of each cost-fill rank layer
+	// (parallel) or checkpoint stride (serial).
+	CoreFillLayer Point = "core.fill.layer"
+	// CoreFillChunk fires when a parallel-fill worker picks up a chunk.
+	CoreFillChunk Point = "core.fill.chunk"
+	// HybridRound fires at the start of each IDP round.
+	HybridRound Point = "hybrid.round"
+	// FacadeRung fires before the facade degradation ladder attempts a
+	// rung; hooks can count invocations to observe rung transitions.
+	FacadeRung Point = "facade.rung"
+)
+
+var (
+	mu     sync.Mutex
+	hooks  map[Point]func()
+	active atomic.Int32
+)
+
+// Inject invokes the hook registered for p, if any. With no hooks registered
+// anywhere — the production state — it is one atomic load.
+func Inject(p Point) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	fn := hooks[p]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set registers fn as the hook for p, replacing any previous hook; a nil fn
+// clears the point. Tests that call Set must call Reset (or Set(p, nil))
+// when done — hooks are process-global.
+func Set(p Point, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fn == nil {
+		if hooks != nil && hooks[p] != nil {
+			delete(hooks, p)
+			active.Add(-1)
+		}
+		return
+	}
+	if hooks == nil {
+		hooks = make(map[Point]func())
+	}
+	if hooks[p] == nil {
+		active.Add(1)
+	}
+	hooks[p] = fn
+}
+
+// Reset clears every registered hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+	active.Store(0)
+}

@@ -1,0 +1,70 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInjectNopWithoutHooks(t *testing.T) {
+	Reset()
+	Inject(CoreFillLayer) // must not panic or block
+}
+
+func TestSetFiresAndClears(t *testing.T) {
+	defer Reset()
+	var calls int
+	Set(CoreFillLayer, func() { calls++ })
+	Inject(CoreFillLayer)
+	Inject(CoreFillChunk) // different point: no hook
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	Set(CoreFillLayer, nil)
+	Inject(CoreFillLayer)
+	if calls != 1 {
+		t.Fatalf("calls after clear = %d, want 1", calls)
+	}
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after clearing the only hook", active.Load())
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	var calls int
+	Set(CorePropsLayer, func() { calls++ })
+	Set(HybridRound, func() { calls++ })
+	Reset()
+	Inject(CorePropsLayer)
+	Inject(HybridRound)
+	if calls != 0 {
+		t.Fatalf("calls = %d after Reset, want 0", calls)
+	}
+}
+
+// TestConcurrentInject exercises Inject from many goroutines against
+// concurrent Set/Reset; run under -race by the stress target.
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	var n sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		n.Add(1)
+		go func() {
+			defer n.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Inject(CoreFillChunk)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		Set(CoreFillChunk, func() {})
+		Set(CoreFillChunk, nil)
+	}
+	close(stop)
+	n.Wait()
+}

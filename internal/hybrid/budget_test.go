@@ -1,0 +1,73 @@
+package hybrid
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/faultinject"
+)
+
+// TestIDPPreCancelledContext: a dead context stops IDP before the first
+// round.
+func TestIDPPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cards, g := chainQuery(12, 200)
+	res, err := IDP(cards, g, cost.SortMerge{}, IDPOptions{K: 4, Ctx: ctx})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("res = %v, err = %v, want nil + context.Canceled", res, err)
+	}
+}
+
+// TestIDPCancelMidRounds uses the round-boundary injection point to cancel
+// after exactly two rounds: the third round must not start.
+func TestIDPCancelMidRounds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	t.Cleanup(faultinject.Reset)
+	var rounds atomic.Int32
+	faultinject.Set(faultinject.HybridRound, func() {
+		if rounds.Add(1) == 3 {
+			cancel()
+		}
+	})
+	cards, g := chainQuery(14, 200)
+	res, err := IDP(cards, g, cost.SortMerge{}, IDPOptions{K: 4, Ctx: ctx})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("res = %v, err = %v, want nil + context.Canceled", res, err)
+	}
+	if got := rounds.Load(); got != 3 {
+		t.Fatalf("rounds started = %d, want exactly 3 (cancel fired at the third boundary)", got)
+	}
+}
+
+// TestChainedLocalPropagatesCancellation: the hybrid front door surfaces the
+// context error from its IDP phase.
+func TestChainedLocalPropagatesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cards, g := chainQuery(12, 200)
+	res, err := ChainedLocal(cards, g, cost.SortMerge{}, IDPOptions{K: 4, Ctx: ctx})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("res = %v, err = %v, want nil + context.Canceled", res, err)
+	}
+}
+
+// TestChainedLocalWithoutContextUnchanged: a nil context keeps the hybrid
+// exactly as before the budget plumbing.
+func TestChainedLocalWithoutContextUnchanged(t *testing.T) {
+	cards, g := chainQuery(12, 200)
+	res, err := ChainedLocal(cards, g, cost.SortMerge{}, IDPOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.DPRounds == 0 {
+		t.Fatalf("res = %+v, want a plan with DP rounds", res)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,7 @@ import (
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/cost"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/plan"
 )
@@ -121,6 +123,20 @@ type IDPOptions struct {
 	K int
 	// Stochastic configures the ChainedLocal polishing phase.
 	Stochastic baseline.StochasticOptions
+	// Ctx, when non-nil, bounds the run cooperatively: its cancellation or
+	// deadline is checked at every IDP round boundary (and before the
+	// ChainedLocal polishing phase), returning ctx.Err() — so a round in
+	// flight finishes, but no new round starts. Each round is 3^K-ish work,
+	// small by construction.
+	Ctx context.Context
+}
+
+// ctxErr reports the context's error, nil when no context is set.
+func (o IDPOptions) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o IDPOptions) k() int {
@@ -146,6 +162,10 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 	res := &Result{}
 	var sc dpScratch // shared across rounds: the 2^u tables are re-made once, not per round
 	for len(units) > 1 {
+		faultinject.Inject(faultinject.HybridRound)
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		res.DPRounds++
 		block := k
 		if len(units) < block {
@@ -341,6 +361,11 @@ func ChainedLocal(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOpt
 	seed, err := IDP(cards, g, m, opts)
 	if err != nil {
 		return nil, err
+	}
+	if err := opts.ctxErr(); err != nil {
+		// Out of budget after the DP phase: the IDP seed plan is already
+		// valid and near-optimal; skip polishing rather than fail.
+		return seed, nil
 	}
 	improved, climbed := baseline.HillClimbFrom(seed.Plan, cards, g, m, opts.Stochastic)
 	res := &Result{

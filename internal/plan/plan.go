@@ -185,8 +185,10 @@ func (n *Node) AttachAlgorithms(m cost.Model) {
 }
 
 // Expression renders the tree as a parenthesized join expression using the
-// given relation names, e.g. "(A ⨯ D) ⨯ (B ⨯ C)". Names may be nil, in which
-// case R<i> is used.
+// given relation names, e.g. "(A ⨯ D) ⨯ (B ⨯ C)". Any leaf whose name is
+// missing — nil or too-short name slice, empty string, out-of-range relation
+// index — renders as R<i>, so results from name-less entry points (e.g. the
+// estimator path) always produce a readable expression.
 func (n *Node) Expression(names []string) string {
 	var b strings.Builder
 	n.expr(&b, names)
@@ -195,7 +197,7 @@ func (n *Node) Expression(names []string) string {
 
 func (n *Node) expr(b *strings.Builder, names []string) {
 	if n.IsLeaf() {
-		if names != nil && n.Rel < len(names) {
+		if n.Rel >= 0 && n.Rel < len(names) && names[n.Rel] != "" {
 			b.WriteString(names[n.Rel])
 		} else {
 			fmt.Fprintf(b, "R%d", n.Rel)

@@ -184,6 +184,19 @@ func TestExpression(t *testing.T) {
 	}
 }
 
+// TestExpressionMissingNames: the R<i> fallback covers every way a name can
+// be absent — a too-short slice, an empty string, and an out-of-range
+// relation index — mixing real names with placeholders where possible.
+func TestExpressionMissingNames(t *testing.T) {
+	p := table1Plan()
+	if got := p.Expression([]string{"A", "B"}); got != "((A ⨝ R3) ⨝ (B ⨝ R2))" {
+		t.Errorf("Expression(short) = %q", got)
+	}
+	if got := p.Expression([]string{"A", "", "C", "D"}); got != "((A ⨝ D) ⨝ (R1 ⨝ C))" {
+		t.Errorf("Expression(empty name) = %q", got)
+	}
+}
+
 func TestStringRender(t *testing.T) {
 	s := table1Plan().String()
 	for _, want := range []string{"scan R0", "scan R3", "join", "card=240000", "cost=241000"} {

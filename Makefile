@@ -11,11 +11,18 @@ FUZZTIME ?= 10s
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/plancache
 
-.PHONY: ci vet build test race stress bench-parallel fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache fuzz-smoke cover
 
-ci: vet build test race stress cover fuzz-smoke
+ci: fmt vet build test race stress cover fuzz-smoke
+
+# gofmt is the style gate: any file needing reformatting fails the build.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -34,14 +41,16 @@ test:
 race:
 	$(GO) test -race -timeout 600s -run 'Parallel' ./internal/core/...
 
-# Looped race-detector runs of the resource-governance paths: cancellation
-# mid-fill, goroutine-leak settling, memory admission, table reuse after a
-# budget stop, and every degradation-ladder rung. -count defeats test
-# caching so each loop re-races the watcher/worker shutdown.
+# Looped race-detector runs of the resource-governance and serving paths:
+# cancellation mid-fill, goroutine-leak settling, memory admission, table
+# reuse after a budget stop, every degradation-ladder rung, and the
+# concurrent Engine (sharded plan cache + pooled arena under mixed load).
+# -count defeats test caching so each loop re-races the watcher/worker
+# shutdown and the cache/arena locking.
 stress:
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp' \
-		./internal/core/ ./internal/hybrid/ .
+		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent' \
+		./internal/core/ ./internal/hybrid/ ./internal/plancache/ .
 
 # Run every native fuzz target for FUZZTIME each, starting from the
 # checked-in corpora under internal/check/testdata/fuzz/. Go allows only one
@@ -69,3 +78,9 @@ cover:
 # Regenerate the numbers behind BENCH_parallel.json (see EXPERIMENTS.md).
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'ParallelFill' -benchtime=3x ./internal/core/
+
+# Regenerate the numbers behind BENCH_cache.json (see EXPERIMENTS.md): the
+# hit/cold microbenchmarks plus the served-traffic experiment.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'EngineCache' -benchmem .
+	$(GO) run ./cmd/blitzbench -exp cache -quiet

@@ -20,28 +20,30 @@
 //	fmt.Println(res.Expression())
 //	fmt.Println(res.Plan)
 //
+// # Serving many queries
+//
+// Query.Optimize is a convenience over a shared default Engine. Long-lived
+// callers — servers optimizing a stream of queries — should construct their
+// own Engine, which adds a canonical-fingerprint plan cache on top of the
+// pooled DP-table arena, so repeated query shapes (under any relation
+// numbering) are served in microseconds instead of re-paying the 3^n search:
+//
+//	eng := blitzsplit.New(blitzsplit.EngineOptions{})
+//	res, err := eng.Optimize(ctx, q, blitzsplit.WithCostModel("dnl"))
+//	if res.Cached { ... served from the plan cache ... }
+//
 // The package is a facade over the implementation in internal/: the core DP
 // optimizer (internal/core), cost models (internal/cost), join graphs
-// (internal/joingraph), plan trees (internal/plan), baseline optimizers
+// (internal/joingraph), plan trees (internal/plan), query canonicalization
+// (internal/canon), the plan cache (internal/plancache), baseline optimizers
 // (internal/baseline) and a small execution engine (internal/engine).
 package blitzsplit
 
 import (
-	"context"
-	"errors"
-	"fmt"
-	"math"
-	"time"
-
-	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
-	"blitzsplit/internal/catalog"
-	"blitzsplit/internal/check"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/engine"
-	"blitzsplit/internal/faultinject"
-	"blitzsplit/internal/hybrid"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/plan"
 	"blitzsplit/internal/schema"
@@ -97,494 +99,6 @@ const (
 	ModeGreedy = "greedy"
 )
 
-// Query is a join-order optimization problem under construction. The zero
-// value is not usable; call NewQuery.
-type Query struct {
-	cat   *catalog.Catalog
-	edges []edgeSpec
-}
-
-type edgeSpec struct {
-	a, b        string
-	selectivity float64
-}
-
-// NewQuery returns an empty query.
-func NewQuery() *Query {
-	return &Query{cat: catalog.New()}
-}
-
-// AddRelation adds a base relation with the given name and (estimated)
-// cardinality. Relations are ordered by insertion; at most 30 are supported.
-func (q *Query) AddRelation(name string, cardinality float64) error {
-	_, err := q.cat.Add(catalog.Relation{Name: name, Cardinality: cardinality})
-	return err
-}
-
-// MustAddRelation is AddRelation that panics on error.
-func (q *Query) MustAddRelation(name string, cardinality float64) {
-	if err := q.AddRelation(name, cardinality); err != nil {
-		panic(err)
-	}
-}
-
-// Join declares an equi-join predicate between two previously added
-// relations with the given selectivity in (0, 1].
-func (q *Query) Join(a, b string, selectivity float64) error {
-	if _, ok := q.cat.Index(a); !ok {
-		return fmt.Errorf("blitzsplit: unknown relation %q", a)
-	}
-	if _, ok := q.cat.Index(b); !ok {
-		return fmt.Errorf("blitzsplit: unknown relation %q", b)
-	}
-	q.edges = append(q.edges, edgeSpec{a: a, b: b, selectivity: selectivity})
-	return nil
-}
-
-// MustJoin is Join that panics on error.
-func (q *Query) MustJoin(a, b string, selectivity float64) {
-	if err := q.Join(a, b, selectivity); err != nil {
-		panic(err)
-	}
-}
-
-// NumRelations returns the number of relations added so far.
-func (q *Query) NumRelations() int { return q.cat.Len() }
-
-// RelationNames returns the relation names in insertion order — the index
-// order used in Plan leaves.
-func (q *Query) RelationNames() []string { return q.cat.Names() }
-
-// build materializes the internal query representation.
-func (q *Query) build() (core.Query, error) {
-	n := q.cat.Len()
-	if n == 0 {
-		return core.Query{}, errors.New("blitzsplit: query has no relations")
-	}
-	var g *joingraph.Graph
-	if len(q.edges) > 0 {
-		g = joingraph.New(n)
-		for _, e := range q.edges {
-			ai, _ := q.cat.Index(e.a)
-			bi, _ := q.cat.Index(e.b)
-			if err := g.AddEdge(ai, bi, e.selectivity); err != nil {
-				return core.Query{}, err
-			}
-		}
-	}
-	return core.Query{Cards: q.cat.Cardinalities(), Graph: g}, nil
-}
-
-// config collects optimization options.
-type config struct {
-	opts      core.Options
-	attachAlg bool
-	ctx       context.Context
-	timeout   time.Duration
-	ladder    bool
-}
-
-// Option configures Optimize.
-type Option func(*config) error
-
-// WithCostModel selects the cost model by name: "naive" (κ0), "sortmerge"
-// (κsm), "dnl" (κdnl), "hash", or a composite like "min(sortmerge,dnl)"
-// modelling the availability of multiple join algorithms (§6.5). The default
-// is "naive".
-func WithCostModel(name string) Option {
-	return func(c *config) error {
-		m, err := cost.ByName(name)
-		if err != nil {
-			return err
-		}
-		c.opts.Model = m
-		return nil
-	}
-}
-
-// WithModel supplies a CostModel value directly.
-func WithModel(m CostModel) Option {
-	return func(c *config) error {
-		if m == nil {
-			return errors.New("blitzsplit: nil cost model")
-		}
-		c.opts.Model = m
-		return nil
-	}
-}
-
-// WithLeftDeep restricts the search to left-deep vines (the comparison space
-// of §6.2). Cartesian products remain allowed.
-func WithLeftDeep() Option {
-	return func(c *config) error {
-		c.opts.LeftDeep = true
-		return nil
-	}
-}
-
-// WithParallelism fills the DP table with w parallel workers. The table's
-// rank layers (subsets of equal popcount) depend only on lower layers, so
-// each layer is partitioned across workers; plans, costs and counters are
-// bit-identical to the default serial fill. 0 restores the serial fill;
-// values beyond runtime.GOMAXPROCS add no speedup.
-func WithParallelism(w int) Option {
-	return func(c *config) error {
-		if w < 0 {
-			return errors.New("blitzsplit: parallelism must be ≥ 0")
-		}
-		c.opts.Parallelism = w
-		return nil
-	}
-}
-
-// WithCostThreshold enables §6.4 plan-cost-threshold pruning: plans costing
-// more than threshold are summarily rejected, and optimization retries with
-// a 1000× larger threshold whenever a pass finds no plan. Queries with cheap
-// plans optimize faster; expensive ones pay for extra passes.
-func WithCostThreshold(threshold float64) Option {
-	return func(c *config) error {
-		if threshold <= 0 {
-			return errors.New("blitzsplit: cost threshold must be positive")
-		}
-		c.opts.CostThreshold = threshold
-		return nil
-	}
-}
-
-// WithOverflowLimit overrides the cost overflow limit (default: the
-// single-precision float maximum, mirroring the paper's float32 cost
-// representation, §6.3).
-func WithOverflowLimit(limit float64) Option {
-	return func(c *config) error {
-		if limit <= 0 {
-			return errors.New("blitzsplit: overflow limit must be positive")
-		}
-		c.opts.OverflowLimit = limit
-		return nil
-	}
-}
-
-// WithAlgorithms attaches the winning physical join algorithm to every join
-// node after optimization (meaningful with a min(...) composite model; §6.5).
-func WithAlgorithms() Option {
-	return func(c *config) error {
-		c.attachAlg = true
-		return nil
-	}
-}
-
-// WithContext bounds the optimization by the context: cancellation or
-// deadline stops the run cooperatively (within a few thousand split loops)
-// and Optimize returns a *BudgetError wrapping ErrBudgetExceeded and the
-// context's error — unless WithDeadlineLadder is also set, in which case a
-// deadline degrades to cheaper optimizers instead of failing.
-func WithContext(ctx context.Context) Option {
-	return func(c *config) error {
-		if ctx == nil {
-			return errors.New("blitzsplit: nil context")
-		}
-		c.ctx = ctx
-		return nil
-	}
-}
-
-// WithTimeout bounds the optimization to d of wall time; it is WithContext
-// with a deadline d from the moment Optimize is called. Combine with
-// WithDeadlineLadder to get a (possibly degraded) plan instead of an error
-// when the budget runs out.
-func WithTimeout(d time.Duration) Option {
-	return func(c *config) error {
-		if d <= 0 {
-			return errors.New("blitzsplit: timeout must be positive")
-		}
-		c.timeout = d
-		return nil
-	}
-}
-
-// WithMemoryBudget rejects the optimization up front — before anything is
-// allocated — when the DP table's exact footprint (four 2^n-element columns;
-// see core.TableFootprint) exceeds budget bytes. Without WithDeadlineLadder
-// the rejection surfaces as a *BudgetError; with it, the ladder skips
-// straight to the bounded-memory rungs (IDP, then greedy).
-func WithMemoryBudget(budget uint64) Option {
-	return func(c *config) error {
-		if budget == 0 {
-			return errors.New("blitzsplit: memory budget must be positive")
-		}
-		c.opts.MemoryBudget = budget
-		return nil
-	}
-}
-
-// WithDeadlineLadder makes Optimize degrade instead of fail when a budget
-// (WithTimeout, WithContext deadline, WithMemoryBudget) runs out, walking a
-// ladder of ever-cheaper optimizers and recording the winning rung in
-// Result.Mode:
-//
-//	exhaustive → threshold-pruned exhaustive → bounded IDP + polish → greedy
-//
-// With a deadline, each attempted rung gets half the remaining budget so
-// lower rungs always retain time to run; the greedy floor is O(n²) and needs
-// effectively none. Every rung's plan passes Result.Verify. Explicit
-// cancellation (context.Canceled, as opposed to a deadline) aborts the
-// ladder and returns the budget error: a caller that cancelled wants no
-// answer at all.
-func WithDeadlineLadder() Option {
-	return func(c *config) error {
-		c.ladder = true
-		return nil
-	}
-}
-
-// Result is the outcome of Optimize.
-type Result struct {
-	// Plan is the optimal join tree.
-	Plan *Plan
-	// Cost is the plan's estimated cost under the chosen model.
-	Cost float64
-	// Cardinality is the estimated result size.
-	Cardinality float64
-	// Counters holds the §3.3 instrumentation for the run.
-	Counters Counters
-	// Mode records which optimizer produced the plan: ModeExhaustive for
-	// the full blitzsplit search, or the degradation-ladder rung
-	// (ModeThreshold, ModeIDP, ModeGreedy) that won under WithDeadlineLadder.
-	Mode string
-	// Degraded reports that a resource budget forced the plan off the
-	// exhaustive rung. A degraded plan is still well-formed and
-	// cost-consistent (it passes Verify), but only ModeThreshold retains
-	// the optimality guarantee.
-	Degraded bool
-
-	names []string
-	query core.Query
-	model CostModel
-}
-
-// Expression renders the plan as a parenthesized join expression using the
-// query's relation names.
-func (r *Result) Expression() string { return r.Plan.Expression(r.names) }
-
-// Verify audits the result with the internal correctness harness: the plan
-// must be structurally well-formed (each base relation in exactly one leaf,
-// children partitioning each node's relation set), and every cardinality and
-// cost in it must match a from-scratch recomputation against the original
-// query and cost model. It returns nil for every result the library
-// produces; a non-nil error means a bug (or a Result mutated after the
-// fact). See DESIGN.md's "Correctness harness" section for the full
-// invariant suite this draws from.
-func (r *Result) Verify() error {
-	if err := check.WellFormed(len(r.query.Cards), r.Plan); err != nil {
-		return err
-	}
-	m := r.model
-	if m == nil {
-		m = cost.Naive{}
-	}
-	return check.CostConsistent(r.query, m, &core.Result{
-		Plan:        r.Plan,
-		Cost:        r.Cost,
-		Cardinality: r.Cardinality,
-		Counters:    r.Counters,
-	})
-}
-
-// Optimize runs Algorithm blitzsplit over the query and returns the optimal
-// bushy plan. With a budget (WithTimeout, WithContext, WithMemoryBudget) the
-// run is governed: it stops cooperatively when the budget runs out, and —
-// under WithDeadlineLadder — degrades through threshold-pruned search,
-// bounded IDP, and a greedy floor instead of failing, recording the rung in
-// Result.Mode.
-func (q *Query) Optimize(options ...Option) (*Result, error) {
-	var cfg config
-	for _, o := range options {
-		if err := o(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	cq, err := q.build()
-	if err != nil {
-		return nil, err
-	}
-	// The facade result never exposes the DP table; drop it eagerly rather
-	// than letting 2^n-element columns ride along until the next GC.
-	cfg.opts.DiscardTable = true
-	ctx, cancel := cfg.budgetContext()
-	defer cancel()
-	if !cfg.ladder {
-		opts := cfg.opts
-		opts.Ctx = ctx
-		res, err := core.Optimize(cq, opts)
-		if err != nil {
-			return nil, err
-		}
-		return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, q.cat.Names(), cq), nil
-	}
-	return optimizeLadder(cq, cfg, ctx, q.cat.Names())
-}
-
-// budgetContext derives the run's governing context from WithContext and
-// WithTimeout; nil when neither was given.
-func (c config) budgetContext() (context.Context, context.CancelFunc) {
-	if c.timeout <= 0 {
-		return c.ctx, func() {}
-	}
-	base := c.ctx
-	if base == nil {
-		base = context.Background()
-	}
-	return context.WithTimeout(base, c.timeout)
-}
-
-// finish assembles the facade Result for a plan produced by any rung.
-func (c config) finish(p *plan.Node, planCost, card float64, counters Counters, mode string, names []string, cq core.Query) *Result {
-	if c.attachAlg {
-		m := c.opts.Model
-		if m == nil {
-			m = cost.Naive{}
-		}
-		p.AttachAlgorithms(m)
-	}
-	return &Result{
-		Plan:        p,
-		Cost:        planCost,
-		Cardinality: card,
-		Counters:    counters,
-		Mode:        mode,
-		Degraded:    mode != ModeExhaustive,
-		names:       names,
-		query:       cq,
-		model:       c.opts.Model,
-	}
-}
-
-// rungSlice gives one ladder rung half the time remaining to the governing
-// deadline, so every lower rung retains budget to run in. Contexts without a
-// deadline (pure cancellation, memory-only budgets) pass through unchanged.
-func rungSlice(ctx context.Context) (context.Context, context.CancelFunc) {
-	if ctx == nil {
-		return nil, func() {}
-	}
-	deadline, ok := ctx.Deadline()
-	if !ok {
-		return ctx, func() {}
-	}
-	remaining := time.Until(deadline)
-	if remaining <= 0 {
-		return ctx, func() {}
-	}
-	return context.WithDeadline(ctx, time.Now().Add(remaining/2))
-}
-
-// ladderK picks the IDP block size for the ladder's hybrid rung: exact for
-// tiny queries, otherwise small enough that one DP round — the cancellation
-// granularity of hybrid.IDP — stays in the low milliseconds even at n ≈ 30.
-func ladderK(n int) int {
-	if n < 6 {
-		return n
-	}
-	return 6
-}
-
-// thresholdAbove returns a plan-cost threshold strictly above the given
-// upper bound, so a plan costing exactly the bound still survives the
-// threshold pass's strict comparisons.
-func thresholdAbove(bound float64) float64 {
-	return bound*(1+1e-9) + math.SmallestNonzeroFloat64
-}
-
-// optimizeLadder is the degradation ladder: exhaustive blitzsplit, then a
-// threshold-pruned pass seeded by a greedy upper bound, then bounded IDP
-// with randomized polish, then the greedy plan itself. Rungs are attempted
-// in order until one finishes inside the budget; the greedy floor always
-// does. Explicit cancellation aborts between rungs instead of degrading.
-func optimizeLadder(cq core.Query, cfg config, ctx context.Context, names []string) (*Result, error) {
-	ctxErr := func() error {
-		if ctx == nil {
-			return nil
-		}
-		return ctx.Err()
-	}
-
-	// Rung 1: exhaustive, within half the remaining budget.
-	faultinject.Inject(faultinject.FacadeRung)
-	opts := cfg.opts
-	rctx, cancel := rungSlice(ctx)
-	opts.Ctx = rctx
-	res, err := core.Optimize(cq, opts)
-	cancel()
-	if err == nil {
-		return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, names, cq), nil
-	}
-	if !errors.Is(err, core.ErrBudgetExceeded) {
-		return nil, err // ErrNoPlan, validation, … — not a budget problem
-	}
-	if errors.Is(ctxErr(), context.Canceled) {
-		return nil, err // the caller cancelled; they want out, not a fallback
-	}
-	var be *core.BudgetError
-	memoryBound := errors.As(err, &be) && be.Phase == core.PhaseAdmission
-
-	m := cfg.opts.Model
-	if m == nil {
-		m = cost.Naive{}
-	}
-	// The greedy bound seeds the threshold rung and is the ladder's floor.
-	greedy, gerr := baseline.GreedyLeftDeep(cq.Cards, cq.Graph, m)
-	if gerr != nil {
-		return nil, gerr
-	}
-
-	// Rung 2: threshold-pruned exhaustive. The greedy cost bounds the
-	// optimum from above, so a threshold just beyond it keeps the optimum
-	// reachable while the §6.4 pruning skips nearly all κ″ work. Pointless
-	// when the table itself was refused (same footprint) or time is up.
-	if !memoryBound && ctxErr() == nil {
-		faultinject.Inject(faultinject.FacadeRung)
-		topts := cfg.opts
-		rctx, cancel = rungSlice(ctx)
-		topts.Ctx = rctx
-		topts.CostThreshold = thresholdAbove(greedy.Cost)
-		res, err = core.Optimize(cq, topts)
-		cancel()
-		if err == nil {
-			return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeThreshold, names, cq), nil
-		}
-		if !errors.Is(err, core.ErrBudgetExceeded) {
-			return nil, err
-		}
-		if errors.Is(ctxErr(), context.Canceled) {
-			return nil, err
-		}
-	}
-
-	// Rung 3: bounded IDP plus polish — polynomial time, 2^K-sized tables.
-	if ctxErr() == nil {
-		faultinject.Inject(faultinject.FacadeRung)
-		rctx, cancel = rungSlice(ctx)
-		hres, herr := hybrid.ChainedLocal(cq.Cards, cq.Graph, m, hybrid.IDPOptions{
-			K:          ladderK(len(cq.Cards)),
-			Stochastic: baseline.StochasticOptions{Seed: 1},
-			Ctx:        rctx,
-		})
-		cancel()
-		if herr == nil {
-			return cfg.finish(hres.Plan, hres.Cost, hres.Plan.Card, Counters{}, ModeIDP, names, cq), nil
-		}
-		if !errors.Is(herr, context.Canceled) && !errors.Is(herr, context.DeadlineExceeded) {
-			return nil, herr
-		}
-		if errors.Is(ctxErr(), context.Canceled) {
-			return nil, err
-		}
-	}
-
-	// Rung 4: the greedy floor — O(n²), already computed, cannot fail.
-	faultinject.Inject(faultinject.FacadeRung)
-	return cfg.finish(greedy.Plan, greedy.Cost, greedy.Plan.Card, Counters{}, ModeGreedy, names, cq), nil
-}
-
 // RelSet is a set of relation indexes packed into a machine word — the §4.1
 // representation that blitzsplit's speed rests on. Plan nodes carry one; the
 // Hypergraph API consumes them.
@@ -614,95 +128,6 @@ type Schema = schema.Schema
 
 // NewSchema returns an empty schema over n relations.
 func NewSchema(n int) *Schema { return schema.New(n) }
-
-// OptimizeWithEstimator runs blitzsplit over base cardinalities with a
-// custom cardinality estimator instead of a binary join graph.
-func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*Result, error) {
-	if est == nil {
-		return nil, errors.New("blitzsplit: nil estimator")
-	}
-	var cfg config
-	for _, o := range options {
-		if err := o(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.ladder {
-		// The fallback rungs (IDP, greedy) estimate cardinalities from a
-		// binary join graph; a custom estimator has none to offer them.
-		return nil, errors.New("blitzsplit: WithDeadlineLadder is not supported with a custom estimator")
-	}
-	cfg.opts.DiscardTable = true
-	ctx, cancel := cfg.budgetContext()
-	defer cancel()
-	cfg.opts.Ctx = ctx
-	cq := core.Query{Cards: cards, Estimator: est}
-	res, err := core.Optimize(cq, cfg.opts)
-	if err != nil {
-		return nil, err
-	}
-	return cfg.finish(res.Plan, res.Cost, res.Cardinality, res.Counters, ModeExhaustive, nil, cq), nil
-}
-
-// OptimizeLarge optimizes queries beyond exhaustive reach (n into the 20s)
-// with iterative dynamic programming of the given block size followed by
-// randomized local-search polishing — the hybrid direction the paper's §7
-// sketches. blockSize ≤ 0 selects 10. The returned Result carries no
-// optimizer counters (the hybrid does not run the full blitzsplit table).
-// Plans are near-optimal, not guaranteed optimal; with blockSize ≥ the
-// relation count the result is the exact optimum.
-func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error) {
-	var cfg config
-	for _, o := range options {
-		if err := o(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	cq, err := q.build()
-	if err != nil {
-		return nil, err
-	}
-	m := cfg.opts.Model
-	if m == nil {
-		m = cost.Naive{}
-	}
-	ctx, cancel := cfg.budgetContext()
-	defer cancel()
-	res, err := hybrid.ChainedLocal(cq.Cards, cq.Graph, m, hybrid.IDPOptions{
-		K:          blockSize,
-		Stochastic: baseline.StochasticOptions{Seed: 1},
-		Ctx:        ctx,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if cfg.attachAlg {
-		res.Plan.AttachAlgorithms(m)
-	}
-	return &Result{
-		Plan:        res.Plan,
-		Cost:        res.Cost,
-		Cardinality: res.Plan.Card,
-		// The caller asked for the hybrid; Mode records it, but nothing was
-		// degraded away from.
-		Mode:        ModeIDP,
-		names:       q.cat.Names(),
-		query:       cq,
-		model:       m,
-	}, nil
-}
-
-// Synthesize materializes an in-memory database instance matching the
-// query's cardinalities and selectivities (deterministically from seed), so
-// optimized plans can be executed and estimates compared against actual
-// result sizes.
-func (q *Query) Synthesize(seed int64) (*Database, error) {
-	cq, err := q.build()
-	if err != nil {
-		return nil, err
-	}
-	return engine.Synthesize(cq.Cards, cq.Graph, seed)
-}
 
 // Execute runs a plan against a synthesized database and returns the actual
 // result cardinality.

@@ -12,6 +12,7 @@
 //	blitzbench -exp ablate             # implementation-trick ablations
 //	blitzbench -exp baselines          # blitzsplit vs Selinger/no-CP/stochastic
 //	blitzbench -exp parallel           # rank-layer parallel fill: speedup vs workers
+//	blitzbench -exp cache              # plan-cache serving: cold vs warm engine
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -22,6 +23,8 @@
 //	-parallel int   optimizer worker count for every experiment (0 = serial)
 //	-timeout dur    wall-time budget for the whole run; exceeding it exits 3
 //	-mem-budget b   refuse up front if the largest DP table exceeds b bytes (exit 3)
+//	-cache          enable the warm engine's plan cache in -exp cache (default true)
+//	-cache-bytes b  plan-cache byte budget for -exp cache (0 = engine default)
 //	-csv path       also write raw measurements as CSV
 //	-quiet          suppress per-case progress lines
 //
@@ -44,27 +47,39 @@ import (
 )
 
 const (
+	exitOK     = 0
+	exitError  = 1
 	exitUsage  = 2
 	exitBudget = 3
 )
 
 func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runMain is main minus the process exit, so the exit-code contract is
+// testable. The global wall-time watchdog is the one exception: it still
+// terminates the whole process, which is precisely its job.
+func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|all")
+	fs.SetOutput(errOut)
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
 	budget := fs.Duration("budget", 200*time.Millisecond, "minimum wall time per measured point")
 	timeout := fs.Duration("timeout", 0, "wall-time budget for the whole run (0 = none); exceeding it exits 3")
 	memBudget := fs.Uint64("mem-budget", 0, "byte budget for the largest DP table (0 = none); refusal exits 3")
+	cache := fs.Bool("cache", true, "enable the warm engine's plan cache in -exp cache")
+	cacheBytes := fs.Uint64("cache-bytes", 0, "plan-cache byte budget for -exp cache (0 = engine default)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(exitUsage)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
 	if *exp == "" {
 		fs.Usage()
-		os.Exit(exitUsage)
+		return exitUsage
 	}
 	// Memory admission: the biggest table any experiment will fill is for
 	// max(n, maxn) relations under the worst-case column set (join graph +
@@ -76,9 +91,9 @@ func main() {
 			big = *maxN
 		}
 		if fp := core.TableFootprint(big, true, cost.SortMerge{}); fp > *memBudget {
-			fmt.Fprintln(os.Stderr, "blitzbench: table footprint "+strconv.FormatUint(fp, 10)+
+			fmt.Fprintln(errOut, "blitzbench: table footprint "+strconv.FormatUint(fp, 10)+
 				" B at n="+strconv.Itoa(big)+" exceeds -mem-budget "+strconv.FormatUint(*memBudget, 10)+" B")
-			os.Exit(exitBudget)
+			return exitBudget
 		}
 	}
 	// Global wall-time watchdog: experiments are long straight-line sweeps,
@@ -86,30 +101,30 @@ func main() {
 	// result worth salvaging from a half-measured figure.
 	if *timeout > 0 {
 		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "blitzbench: wall-time budget %v exceeded\n", *timeout)
+			fmt.Fprintf(errOut, "blitzbench: wall-time budget %v exceeded\n", *timeout)
 			os.Exit(exitBudget)
 		})
 	}
-	var progress io.Writer = os.Stderr
+	var progress io.Writer = errOut
 	if *quiet {
 		progress = nil
 	}
 	cfg := bench.Config{
-		N:           *n,
-		MaxN:        *maxN,
-		Budget:      *budget,
-		Progress:    progress,
-		Out:         os.Stdout,
-		Parallelism: *parallel,
+		N:             *n,
+		MaxN:          *maxN,
+		Budget:        *budget,
+		Progress:      progress,
+		Out:           out,
+		Parallelism:   *parallel,
+		CacheBytes:    *cacheBytes,
+		CacheDisabled: !*cache,
 	}
-	var err error
+	code := exitOK
 	for _, name := range strings.Split(*exp, ",") {
 		if e := bench.Run(strings.TrimSpace(name), cfg, *csvPath); e != nil {
-			fmt.Fprintln(os.Stderr, "blitzbench:", e)
-			err = e
+			fmt.Fprintln(errOut, "blitzbench:", e)
+			code = exitError
 		}
 	}
-	if err != nil {
-		os.Exit(1)
-	}
+	return code
 }

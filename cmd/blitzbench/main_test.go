@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The exit-code contract is what orchestration scripts react to; pin it.
+func TestRunMainExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"cache experiment succeeds", []string{"-exp", "cache", "-n", "8", "-budget", "1ms", "-quiet"}, exitOK},
+		{"cache disabled still succeeds", []string{"-exp", "cache", "-n", "6", "-budget", "1ms", "-cache=false", "-quiet"}, exitOK},
+		{"unknown experiment", []string{"-exp", "nosuch", "-quiet"}, exitError},
+		{"missing -exp", nil, exitUsage},
+		{"bad flag", []string{"-definitely-not-a-flag"}, exitUsage},
+		{"memory admission refusal", []string{"-exp", "cache", "-mem-budget", "1", "-quiet"}, exitBudget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := runMain(tc.args, &out, &errOut); got != tc.want {
+				t.Fatalf("runMain(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, errOut.String())
+			}
+		})
+	}
+}
+
+func TestCacheExperimentReportsHitRate(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := runMain([]string{"-exp", "cache", "-n", "8", "-budget", "1ms", "-quiet"}, &out, &errOut); got != exitOK {
+		t.Fatalf("exit %d\nstderr: %s", got, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"warm engine:", "hit rate", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,6 +85,21 @@ func TestLeftDeepFlag(t *testing.T) {
 	}
 	if !p.IsLeftDeep() {
 		t.Error("-leftdeep produced a bushy plan")
+	}
+}
+
+func TestCacheFlags(t *testing.T) {
+	path := writeExampleSpec(t)
+	var out strings.Builder
+	if err := run([]string{"-cache", "-cache-bytes", "1MiB", "-counters", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// A one-shot run is a single miss that populates the cache.
+	if !strings.Contains(out.String(), "engine: cache hits=0 misses=1 entries=1") {
+		t.Errorf("missing engine stats line:\n%s", out.String())
+	}
+	if err := run([]string{"-cache-bytes", "bogus", path}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("bogus -cache-bytes: got %v, want usage error", err)
 	}
 }
 

@@ -1,0 +1,344 @@
+package blitzsplit
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/canon"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/hybrid"
+	"blitzsplit/internal/plancache"
+)
+
+// EngineOptions configures New. The zero value is a served-traffic default:
+// a 64 MiB plan cache over 16 shards, a 256 MiB table arena, exact
+// (unquantized) selectivities.
+type EngineOptions struct {
+	// CacheBytes bounds the plan cache's footprint; 0 selects the 64 MiB
+	// default. Ignored when DisableCache is set.
+	CacheBytes uint64
+	// CacheShards is the shard count (rounded up to a power of two); 0
+	// selects 16. More shards reduce lock contention under concurrency.
+	CacheShards int
+	// DisableCache turns the plan cache off entirely: every Optimize runs
+	// cold (but still through the table arena). The package-level default
+	// engine runs with the cache disabled so the one-shot API keeps its
+	// exact historical semantics.
+	DisableCache bool
+	// ArenaBytes bounds the idle DP-table pool; 0 selects the 256 MiB
+	// default.
+	ArenaBytes uint64
+	// SelectivityQuantum, when > 0, rounds selectivities to the nearest
+	// multiple of the quantum in log2 space before cache lookup, so queries
+	// whose selectivities differ only by estimation noise share cached plan
+	// shapes. Served results are re-anchored on the caller's actual
+	// selectivities (cards and costs recomputed), but the plan shape is the
+	// optimum for the quantized query — an approximation. 0 (the default)
+	// caches exactly: hits are bit-identical to cold optimizations.
+	SelectivityQuantum float64
+}
+
+// Engine is a long-lived, concurrency-safe optimizer: the one-shot facade
+// rebuilt around two layers of reuse. A table arena pools the 2^n-element DP
+// tables across runs (and across the degradation ladder's rungs), and a
+// sharded LRU plan cache keyed by canonical query fingerprints
+// (internal/canon) serves repeated query shapes — under any relation
+// numbering — without re-running the 3^n search. Construct with New; any
+// number of goroutines may call Optimize concurrently.
+type Engine struct {
+	cache   *plancache.Cache // nil when disabled
+	arena   *core.Arena
+	quantum float64
+}
+
+// New returns an Engine with the given options.
+func New(opts EngineOptions) *Engine {
+	e := &Engine{
+		arena:   core.NewArena(opts.ArenaBytes),
+		quantum: opts.SelectivityQuantum,
+	}
+	if !opts.DisableCache {
+		e.cache = plancache.New(opts.CacheBytes, opts.CacheShards)
+	}
+	return e
+}
+
+// defaultEngine backs the package-level one-shot API. Its plan cache is
+// disabled — Query.Optimize has always re-optimized every call, and counters
+// and threshold-pass behavior are part of that contract — but its arena
+// still pools DP tables across calls, which is semantically invisible.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	return New(EngineOptions{DisableCache: true})
+})
+
+// Default returns the shared engine behind Query.Optimize and the other
+// package-level entry points.
+func Default() *Engine { return defaultEngine() }
+
+// EngineStats is a point-in-time snapshot of an engine's reuse layers.
+type EngineStats struct {
+	// Cache aggregates the plan cache's shards; zero-valued when the cache
+	// is disabled.
+	Cache plancache.Stats
+	// Arena describes the DP-table pool. Arena.Live is the number of tables
+	// currently checked out — 0 whenever no optimization is in flight.
+	Arena core.ArenaStats
+}
+
+// Stats snapshots the engine's cache and arena counters.
+func (e *Engine) Stats() EngineStats {
+	var st EngineStats
+	if e.cache != nil {
+		st.Cache = e.cache.Snapshot()
+	}
+	st.Arena = e.arena.Stats()
+	return st
+}
+
+// Optimize runs Algorithm blitzsplit over the query and returns the optimal
+// bushy plan, consulting the engine's plan cache first: if an isomorphic
+// query (same shape under some relation renumbering, per internal/canon) was
+// optimized before, its plan is rewritten to this query's numbering and
+// returned with Result.Cached set — bit-identical cost, cardinality and plan
+// shape to what a cold run would produce (given an exact, unquantized
+// cache). Only full exhaustive optima are cached; degraded ladder results
+// are returned but never stored.
+//
+// ctx bounds the run like WithContext (a WithContext option takes
+// precedence); nil means no context budget. Budgets govern the cold path —
+// a cache hit costs microseconds and is served even when a cold run would
+// have been refused by WithMemoryBudget, since it allocates no table.
+func (e *Engine) Optimize(ctx context.Context, q *Query, options ...Option) (*Result, error) {
+	cfg, err := newConfig(options)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = ctx
+	}
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	return e.optimizeQuery(cq, cfg, q.cat.Names())
+}
+
+// optimizeQuery is the engine's spine: cache lookup, cold optimization of
+// the canonical query on a miss, store, and relabeling back to the caller's
+// relation numbering.
+func (e *Engine) optimizeQuery(cq core.Query, cfg config, names []string) (*Result, error) {
+	// The facade result never exposes the DP table; discard-to-arena keeps
+	// the 2^n columns pooled instead of riding along until the next GC.
+	cfg.opts.DiscardTable = true
+	cfg.opts.Arena = e.arena
+	if e.cache == nil || cq.Estimator != nil {
+		o, err := e.run(cq, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.finish(o, names, cq), nil
+	}
+	cn, err := canon.Canonicalize(cq, canon.Options{SelectivityQuantum: e.quantum})
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(cn.Fingerprint, cfg.opts)
+	if ent, ok := e.cache.Get(key); ok {
+		o := &outcome{
+			plan:     canon.RelabelPlan(ent.Plan, cn.ToOrig),
+			cost:     ent.Cost,
+			card:     ent.Cardinality,
+			counters: ent.Counters,
+			mode:     ModeExhaustive,
+			cached:   true,
+		}
+		e.reanchor(o, cq, cfg)
+		return cfg.finish(o, names, cq), nil
+	}
+	// Miss: optimize the canonical query, not the caller's labeling, so the
+	// stored entry — and therefore every future hit, after relabeling — is
+	// bit-identical to this cold result.
+	o, err := e.run(cn.Query(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.mode == ModeExhaustive {
+		// Only the true optimum is worth serving to every isomorphic query;
+		// degraded ladder plans reflect one call's budget, not the query.
+		e.cache.Put(key, plancache.Entry{
+			Plan:        o.plan,
+			Cost:        o.cost,
+			Cardinality: o.card,
+			Counters:    o.counters,
+		})
+	}
+	o.plan = canon.RelabelPlan(o.plan, cn.ToOrig)
+	e.reanchor(o, cq, cfg)
+	return cfg.finish(o, names, cq), nil
+}
+
+// reanchor recomputes a canonical-query outcome's cardinalities and costs
+// against the caller's actual query when selectivity quantization is on: the
+// cached plan shape was optimized for the quantized selectivities, but the
+// numbers the caller sees must be consistent with the query they asked about
+// (Result.Verify depends on it). With exact caching the canonical numbers
+// are already bit-correct and are left untouched.
+func (e *Engine) reanchor(o *outcome, cq core.Query, cfg config) {
+	if e.quantum <= 0 || cq.Graph == nil {
+		return
+	}
+	o.card = o.plan.RecomputeCards(cq.Graph, cq.Cards)
+	o.cost = o.plan.RecomputeCost(cfg.model())
+}
+
+// run executes one governed cold optimization: the plain exhaustive search,
+// or the degradation ladder under WithDeadlineLadder.
+func (e *Engine) run(cq core.Query, cfg config) (*outcome, error) {
+	ctx, cancel := cfg.budgetContext()
+	defer cancel()
+	if !cfg.ladder {
+		opts := cfg.opts
+		opts.Ctx = ctx
+		res, err := core.Optimize(cq, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &outcome{
+			plan:     res.Plan,
+			cost:     res.Cost,
+			card:     res.Cardinality,
+			counters: res.Counters,
+			mode:     ModeExhaustive,
+		}, nil
+	}
+	return e.runLadder(cq, cfg, ctx)
+}
+
+// cacheKey extends the canonical fingerprint with every option that changes
+// which plan is optimal: the cost model, the left-deep restriction, and the
+// overflow limit. Deliberately absent: CostThreshold (the threshold identity
+// — a thresholded run returns the same plan or fails, though its pass
+// counters differ, so a hit's Counters describe the run that populated the
+// entry), Parallelism (the parallel fill is bit-identical), and the budget
+// options (they decide whether a cold run finishes, never which plan wins).
+func cacheKey(fp string, opts core.Options) string {
+	b := make([]byte, 0, len(fp)+48)
+	b = append(b, fp...)
+	b = append(b, 0)
+	if opts.LeftDeep {
+		b = append(b, 'L')
+	} else {
+		b = append(b, 'B')
+	}
+	limit := opts.OverflowLimit
+	if limit <= 0 {
+		limit = math.MaxFloat32
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(limit))
+	m := opts.Model
+	if m == nil {
+		b = append(b, "naive"...)
+	} else {
+		// The dynamic type plus its printed fields distinguish identically
+		// named but differently parameterized custom models. Two distinct
+		// values of a semantically equal model can at worst miss, never
+		// alias.
+		b = append(b, fmt.Sprintf("%T|%+v", m, m)...)
+	}
+	return string(b)
+}
+
+// Optimize runs Algorithm blitzsplit over the query and returns the optimal
+// bushy plan. With a budget (WithTimeout, WithContext, WithMemoryBudget) the
+// run is governed: it stops cooperatively when the budget runs out, and —
+// under WithDeadlineLadder — degrades through threshold-pruned search,
+// bounded IDP, and a greedy floor instead of failing, recording the rung in
+// Result.Mode. It is Engine.Optimize on the shared Default engine, whose
+// plan cache is disabled; servers wanting cached plans construct their own
+// Engine with New.
+func (q *Query) Optimize(options ...Option) (*Result, error) {
+	return Default().Optimize(nil, q, options...)
+}
+
+// OptimizeWithEstimator runs blitzsplit over base cardinalities with a
+// custom cardinality estimator instead of a binary join graph. Estimator
+// queries bypass the engine's plan cache: estimator state is opaque, so no
+// canonical fingerprint exists for it.
+func (e *Engine) OptimizeWithEstimator(ctx context.Context, cards []float64, est Estimator, options ...Option) (*Result, error) {
+	if est == nil {
+		return nil, errors.New("blitzsplit: nil estimator")
+	}
+	cfg, err := newConfig(options)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ladder {
+		// The fallback rungs (IDP, greedy) estimate cardinalities from a
+		// binary join graph; a custom estimator has none to offer them.
+		return nil, errors.New("blitzsplit: WithDeadlineLadder is not supported with a custom estimator")
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = ctx
+	}
+	cfg.opts.DiscardTable = true
+	cfg.opts.Arena = e.arena
+	o, err := e.run(core.Query{Cards: cards, Estimator: est}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finish(o, nil, core.Query{Cards: cards, Estimator: est}), nil
+}
+
+// OptimizeWithEstimator is Engine.OptimizeWithEstimator on the Default
+// engine.
+func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*Result, error) {
+	return Default().OptimizeWithEstimator(nil, cards, est, options...)
+}
+
+// OptimizeLarge optimizes queries beyond exhaustive reach (n into the 20s)
+// with iterative dynamic programming of the given block size followed by
+// randomized local-search polishing — the hybrid direction the paper's §7
+// sketches. blockSize ≤ 0 selects 10. The returned Result carries no
+// optimizer counters (the hybrid does not run the full blitzsplit table) and
+// is never cached. Plans are near-optimal, not guaranteed optimal; with
+// blockSize ≥ the relation count the result is the exact optimum.
+func (e *Engine) OptimizeLarge(ctx context.Context, q *Query, blockSize int, options ...Option) (*Result, error) {
+	cfg, err := newConfig(options)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = ctx
+	}
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := cfg.budgetContext()
+	defer cancel()
+	res, err := hybrid.ChainedLocal(cq.Cards, cq.Graph, cfg.model(), hybrid.IDPOptions{
+		K:          blockSize,
+		Stochastic: baseline.StochasticOptions{Seed: 1},
+		Ctx:        rctx,
+		Arena:      e.arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := &outcome{plan: res.Plan, cost: res.Cost, card: res.Plan.Card, mode: ModeIDP}
+	r := cfg.finish(o, q.cat.Names(), cq)
+	// The caller asked for the hybrid; Mode records it, but nothing was
+	// degraded away from.
+	r.Degraded = false
+	return r, nil
+}
+
+// OptimizeLarge is Engine.OptimizeLarge on the Default engine.
+func (q *Query) OptimizeLarge(blockSize int, options ...Option) (*Result, error) {
+	return Default().OptimizeLarge(nil, q, blockSize, options...)
+}

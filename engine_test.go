@@ -1,0 +1,537 @@
+package blitzsplit
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// permutedQuery builds the same logical query under a permuted relation
+// numbering: relation i of the base ordering is inserted at position
+// perm[i]. Costs, cardinalities and (relabeled) plans must not depend on
+// this ordering — the invariance the plan cache's soundness rests on.
+func permutedQuery(t testing.TB, cards []float64, edges [][3]float64, perm []int) *Query {
+	t.Helper()
+	n := len(cards)
+	q := NewQuery()
+	inv := make([]int, n) // inv[pos] = base index inserted at pos
+	for i, p := range perm {
+		inv[p] = i
+	}
+	for pos := 0; pos < n; pos++ {
+		i := inv[pos]
+		q.MustAddRelation(fmt.Sprintf("R%d", i), cards[i])
+	}
+	for _, e := range edges {
+		q.MustJoin(fmt.Sprintf("R%d", int(e[0])), fmt.Sprintf("R%d", int(e[1])), e[2])
+	}
+	return q
+}
+
+// starQuery returns cards/edges for a star join with distinct cardinalities
+// (so canonicalization is Exact and permuted resubmissions must all hit).
+func starQuery(n int) ([]float64, [][3]float64) {
+	cards := make([]float64, n)
+	cards[0] = 1e6
+	var edges [][3]float64
+	for i := 1; i < n; i++ {
+		cards[i] = float64(1000 * i)
+		edges = append(edges, [3]float64{0, float64(i), 1 / float64(1000*i)})
+	}
+	return cards, edges
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// A warm engine must serve permuted resubmissions from the cache,
+// bit-identical — cost, cardinality, counters — to the cold run that
+// populated the entry, and the served plan must pass Verify against the
+// resubmitted labeling.
+func TestEngineCacheHitBitIdentical(t *testing.T) {
+	const n = 8
+	cards, edges := starQuery(n)
+	eng := New(EngineOptions{})
+
+	cold, err := eng.Optimize(nil, permutedQuery(t, cards, edges, identityPerm(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first submission cannot be a cache hit")
+	}
+	if err := cold.Verify(); err != nil {
+		t.Fatalf("cold result: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		q := permutedQuery(t, cards, edges, rng.Perm(n))
+		res, err := eng.Optimize(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("trial %d: permuted resubmission missed the cache", trial)
+		}
+		if math.Float64bits(res.Cost) != math.Float64bits(cold.Cost) {
+			t.Fatalf("trial %d: hit cost %v ≠ cold cost %v", trial, res.Cost, cold.Cost)
+		}
+		if math.Float64bits(res.Cardinality) != math.Float64bits(cold.Cardinality) {
+			t.Fatalf("trial %d: hit cardinality diverged", trial)
+		}
+		if res.Counters != cold.Counters {
+			t.Fatalf("trial %d: hit counters %+v ≠ cold %+v", trial, res.Counters, cold.Counters)
+		}
+		if res.Mode != ModeExhaustive || res.Degraded {
+			t.Fatalf("trial %d: hit mode %q degraded=%v", trial, res.Mode, res.Degraded)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("trial %d: served plan fails verification: %v", trial, err)
+		}
+	}
+
+	st := eng.Stats()
+	if st.Cache.Hits != 10 || st.Cache.Misses != 1 || st.Cache.Puts != 1 {
+		t.Fatalf("cache counters: %+v", st.Cache)
+	}
+	if st.Arena.Live != 0 {
+		t.Fatalf("engine leaked %d tables", st.Arena.Live)
+	}
+}
+
+// Served plans are deep copies: mutating a hit's plan must not corrupt the
+// cache for later hits.
+func TestEngineCacheHitsAreIsolated(t *testing.T) {
+	cards, edges := starQuery(6)
+	eng := New(EngineOptions{})
+	q := permutedQuery(t, cards, edges, identityPerm(6))
+	first, err := eng.Optimize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := first.Cost
+	hit1, err := eng.Optimize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit1.Plan.Card = -1 // vandalize the served copy
+	hit1.Plan.Left, hit1.Plan.Right = nil, nil
+	hit2, err := eng.Optimize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2.Cached || hit2.Cost != ref {
+		t.Fatal("cache entry was corrupted through a served plan")
+	}
+	if err := hit2.Verify(); err != nil {
+		t.Fatalf("post-vandalism hit: %v", err)
+	}
+}
+
+// The package-level one-shot API rides the default engine, whose cache is
+// disabled: repeated optimizations never report Cached.
+func TestDefaultEngineDoesNotCache(t *testing.T) {
+	cards, edges := starQuery(5)
+	q := permutedQuery(t, cards, edges, identityPerm(5))
+	for i := 0; i < 2; i++ {
+		res, err := q.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("default engine must not cache")
+		}
+	}
+	if st := Default().Stats(); st.Cache.Capacity != 0 {
+		t.Fatalf("default engine has a live cache: %+v", st.Cache)
+	}
+}
+
+// Distinct option sets must not alias in the cache even for the same query
+// shape: left-deep and bushy optima differ, and different cost models score
+// differently.
+func TestEngineCacheKeySeparatesOptions(t *testing.T) {
+	cards, edges := starQuery(7)
+	eng := New(EngineOptions{})
+	q := permutedQuery(t, cards, edges, identityPerm(7))
+	bushy, err := eng.Optimize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := eng.Optimize(nil, q, WithLeftDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Cached {
+		t.Fatal("left-deep run must not hit the bushy entry")
+	}
+	dnl, err := eng.Optimize(nil, q, WithCostModel("dnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dnl.Cached {
+		t.Fatal("dnl-model run must not hit the naive entry")
+	}
+	_ = bushy
+	// Resubmitting each variant now hits its own entry.
+	for _, opts := range [][]Option{nil, {WithLeftDeep()}, {WithCostModel("dnl")}} {
+		res, err := eng.Optimize(nil, q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("variant %v should hit its own entry", opts)
+		}
+	}
+}
+
+// Estimator queries are uncacheable and must bypass the cache silently.
+func TestEngineEstimatorBypassesCache(t *testing.T) {
+	eng := New(EngineOptions{})
+	sch := NewSchema(3)
+	sch.MustAddColumn(0, "k", 100)
+	sch.MustAddColumn(1, "k", 100)
+	sch.MustAddColumn(1, "j", 50)
+	sch.MustAddColumn(2, "j", 50)
+	sch.MustEquate(0, "k", 1, "k")
+	sch.MustEquate(1, "j", 2, "j")
+	for i := 0; i < 2; i++ {
+		res, err := eng.OptimizeWithEstimator(nil, []float64{100, 200, 300}, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("estimator result cannot be cached")
+		}
+	}
+	if st := eng.Stats(); st.Cache.Hits+st.Cache.Misses+st.Cache.Puts != 0 {
+		t.Fatalf("estimator runs touched the cache: %+v", st.Cache)
+	}
+}
+
+// Degraded ladder outcomes reflect one call's budget and must never be
+// stored; a later unconstrained call must re-optimize and cache the true
+// optimum.
+func TestEngineDoesNotCacheDegradedPlans(t *testing.T) {
+	cards, edges := starQuery(12)
+	eng := New(EngineOptions{})
+	q := permutedQuery(t, cards, edges, identityPerm(12))
+	res, err := eng.Optimize(nil, q, WithTimeout(1*time.Nanosecond), WithDeadlineLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode == ModeExhaustive {
+		t.Skip("machine finished exhaustive search inside 1ns; cannot exercise degradation")
+	}
+	full, err := eng.Optimize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached {
+		t.Fatal("degraded plan leaked into the cache")
+	}
+	if full.Mode != ModeExhaustive {
+		t.Fatalf("unconstrained run degraded: %q", full.Mode)
+	}
+	if full.Cost > res.Cost {
+		t.Fatalf("exhaustive optimum %v worse than ladder plan %v", full.Cost, res.Cost)
+	}
+}
+
+// Ladder runs cut down by a deadline must return every rung's scratch table
+// to the arena — the leak this PR's arena plumbing fixes. Run with -race.
+func TestEngineLadderLeakOnCancel(t *testing.T) {
+	cards, edges := starQuery(13)
+	eng := New(EngineOptions{})
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		q := permutedQuery(t, cards, edges, rng.Perm(13))
+		budget := time.Duration(50+rng.Intn(2000)) * time.Microsecond
+		res, err := eng.Optimize(nil, q, WithTimeout(budget), WithDeadlineLadder())
+		if err != nil {
+			t.Fatalf("trial %d: ladder must always produce a plan: %v", trial, err)
+		}
+		if verr := res.Verify(); verr != nil {
+			t.Fatalf("trial %d (%s): %v", trial, res.Mode, verr)
+		}
+	}
+	// Explicit cancellation aborts with an error — still no leak. A fresh
+	// engine, because on the warm one the cache (correctly) serves a hit
+	// before the ladder would even start.
+	coldEng := New(EngineOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := coldEng.Optimize(ctx, permutedQuery(t, cards, edges, identityPerm(13)),
+		WithDeadlineLadder()); err == nil {
+		t.Fatal("explicitly cancelled ladder should fail")
+	}
+	for i, e := range []*Engine{eng, coldEng} {
+		if st := e.Stats(); st.Arena.Live != 0 {
+			t.Fatalf("engine %d: ladder leaked %d tables", i, st.Arena.Live)
+		}
+	}
+}
+
+// TestEngineConcurrentStress hammers one engine from many goroutines with a
+// mixed workload of query sizes and repeated shapes: the run must be
+// race-clean, cache counters must account for every single request, the
+// arena must end with zero live tables, and every response for a given
+// shape must agree bitwise with the first response for that shape.
+func TestEngineConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 30
+		shapes  = 12
+	)
+	type shapeSpec struct {
+		cards []float64
+		edges [][3]float64
+	}
+	rng := rand.New(rand.NewSource(17))
+	specs := make([]shapeSpec, shapes)
+	for s := range specs {
+		n := 4 + rng.Intn(7) // n ∈ [4, 10]
+		if s == 0 {
+			n = 14 // one heavyweight shape
+		}
+		cards := make([]float64, n)
+		for i := range cards {
+			cards[i] = math.Trunc(rng.Float64()*1e5) + 2
+		}
+		var edges [][3]float64
+		for i := 1; i < n; i++ {
+			edges = append(edges, [3]float64{float64(rng.Intn(i)), float64(i),
+				math.Exp2(-1 - 20*rng.Float64())})
+		}
+		specs[s] = shapeSpec{cards, edges}
+	}
+
+	eng := New(EngineOptions{})
+	var (
+		mu       sync.Mutex
+		refCost  = make(map[int]float64)
+		requests uint64
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perW; i++ {
+				s := wrng.Intn(shapes)
+				sp := specs[s]
+				q := permutedQuery(t, sp.cards, sp.edges, wrng.Perm(len(sp.cards)))
+				res, err := eng.Optimize(nil, q)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				requests++
+				if ref, ok := refCost[s]; ok {
+					if math.Float64bits(res.Cost) != math.Float64bits(ref) {
+						mu.Unlock()
+						errs <- fmt.Errorf("shape %d: cost %v diverged from %v", s, res.Cost, ref)
+						return
+					}
+				} else {
+					refCost[s] = res.Cost
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.Cache.Hits+st.Cache.Misses != requests {
+		t.Fatalf("hits %d + misses %d ≠ requests %d", st.Cache.Hits, st.Cache.Misses, requests)
+	}
+	if st.Cache.Puts != st.Cache.Misses {
+		t.Fatalf("every miss must store exactly once: %+v", st.Cache)
+	}
+	// Shapes with non-Exact canonicalization could miss more than once under
+	// permutation, but every shape must have been stored at least once and at
+	// most... once per distinct fingerprint. At minimum: misses ≥ shapes.
+	if st.Cache.Misses < shapes {
+		t.Fatalf("only %d misses for %d distinct shapes", st.Cache.Misses, shapes)
+	}
+	if st.Arena.Live != 0 {
+		t.Fatalf("stress leaked %d tables", st.Arena.Live)
+	}
+}
+
+// Under a selectivity quantum, noisy selectivity variants of one shape share
+// a cache entry, and the served numbers are re-anchored on the caller's
+// actual query so Verify still passes.
+func TestEngineQuantizedServing(t *testing.T) {
+	eng := New(EngineOptions{SelectivityQuantum: 0.5})
+	base := func(sel float64) *Query {
+		q := NewQuery()
+		q.MustAddRelation("a", 1000)
+		q.MustAddRelation("b", 50000)
+		q.MustAddRelation("c", 700)
+		q.MustJoin("a", "b", sel)
+		q.MustJoin("b", "c", 0.001)
+		return q
+	}
+	cold, err := eng.Optimize(nil, base(0.0100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Verify(); err != nil {
+		t.Fatalf("quantized cold run: %v", err)
+	}
+	warm, err := eng.Optimize(nil, base(0.0103)) // same log2 bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("noise-level selectivity change should hit under quantization")
+	}
+	if err := warm.Verify(); err != nil {
+		t.Fatalf("re-anchored hit fails verification: %v", err)
+	}
+	if warm.Cost == cold.Cost {
+		t.Fatal("re-anchoring should reflect the caller's actual selectivity")
+	}
+}
+
+// WithMemoryBudget refuses a cold run whose table exceeds the budget, but a
+// cache hit allocates no table and is served anyway.
+func TestEngineCacheHitExemptFromMemoryBudget(t *testing.T) {
+	cards, edges := starQuery(12)
+	eng := New(EngineOptions{})
+	q := permutedQuery(t, cards, edges, identityPerm(12))
+	if _, err := eng.Optimize(nil, q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Optimize(nil, q, WithMemoryBudget(1024))
+	if err != nil {
+		t.Fatalf("hit should be exempt from the memory budget: %v", err)
+	}
+	if !res.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	// A fresh engine must still refuse the cold run under the same budget.
+	cold := New(EngineOptions{})
+	if _, err := cold.Optimize(nil, q, WithMemoryBudget(1024)); err == nil {
+		t.Fatal("cold run should be refused by the memory budget")
+	}
+}
+
+func BenchmarkEngineCacheHit(b *testing.B) {
+	cards, edges := starQuery(12)
+	eng := New(EngineOptions{})
+	q := permutedQuery(b, cards, edges, identityPerm(12))
+	if _, err := eng.Optimize(nil, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Optimize(nil, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("benchmark must measure hits")
+		}
+	}
+}
+
+func BenchmarkEngineCacheCold(b *testing.B) {
+	cards, edges := starQuery(12)
+	eng := New(EngineOptions{DisableCache: true})
+	q := permutedQuery(b, cards, edges, identityPerm(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Optimize(nil, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Repeated Join declarations on one relation pair are a conjunction: they
+// fold into a single multiplicative selectivity at build time, bitwise
+// independent of declaration order, and equivalent to declaring the product
+// directly.
+func TestDuplicateJoinFolding(t *testing.T) {
+	build := func(sels ...float64) *Query {
+		q := NewQuery()
+		q.MustAddRelation("x", 1000)
+		q.MustAddRelation("y", 2000)
+		q.MustAddRelation("z", 500)
+		for _, s := range sels {
+			q.MustJoin("x", "y", s)
+		}
+		q.MustJoin("y", "z", 0.001)
+		return q
+	}
+	a, err := build(0.5, 0.02, 0.1).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build(0.1, 0.5, 0.02).Optimize() // same factors, shuffled
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := build(0.5 * 0.02 * 0.1).Optimize() // pre-folded product
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]*Result{"shuffled": b, "prefolded": c} {
+		if math.Float64bits(a.Cost) != math.Float64bits(other.Cost) {
+			t.Fatalf("%s: cost %v ≠ %v", name, other.Cost, a.Cost)
+		}
+		if math.Float64bits(a.Cardinality) != math.Float64bits(other.Cardinality) {
+			t.Fatalf("%s: cardinality diverged", name)
+		}
+		if !a.Plan.Equal(other.Plan) {
+			t.Fatalf("%s: plan diverged", name)
+		}
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed orientations fold too: x⋈y and y⋈x address the same pair.
+	q := NewQuery()
+	q.MustAddRelation("x", 1000)
+	q.MustAddRelation("y", 2000)
+	q.MustAddRelation("z", 500)
+	q.MustJoin("x", "y", 0.5)
+	q.MustJoin("y", "x", 0.02)
+	q.MustJoin("x", "y", 0.1)
+	q.MustJoin("y", "z", 0.001)
+	d, err := q.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(d.Cost) != math.Float64bits(a.Cost) {
+		t.Fatal("orientation-mixed duplicates folded differently")
+	}
+	// An invalid selectivity among the duplicates is still rejected.
+	bad := NewQuery()
+	bad.MustAddRelation("x", 10)
+	bad.MustAddRelation("y", 20)
+	bad.MustJoin("x", "y", 0.5)
+	bad.MustJoin("x", "y", 1.5)
+	if _, err := bad.Optimize(); err == nil {
+		t.Fatal("out-of-range duplicate selectivity accepted")
+	}
+}

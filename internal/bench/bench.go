@@ -38,6 +38,12 @@ type Config struct {
 	// case (0 = the paper's serial fill). The parallel experiment sweeps
 	// its own worker counts and ignores this.
 	Parallelism int
+	// CacheBytes bounds the warm engine's plan cache in the cache-serving
+	// experiment (0 = the engine default). Ignored by other experiments.
+	CacheBytes uint64
+	// CacheDisabled runs the cache-serving experiment's "warm" engine with
+	// its cache off — the control measurement.
+	CacheDisabled bool
 }
 
 func (c Config) n() int {
@@ -73,7 +79,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -114,6 +120,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Orders(cfg)
 	case "parallel":
 		err = Parallel(cfg)
+	case "cache":
+		err = CacheServing(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}
@@ -356,14 +364,16 @@ func Ablations(cfg Config) error {
 	fmt.Fprintf(w, "Ablations on (κdnl, cycle+3, mean=464, var=0.5, n=%d)\n", n)
 	fmt.Fprintf(w, "%-36s %10s %14s %14s %12s\n", "variant", "seconds", "loop iters", "κ″ evals", "plan cost")
 	var baseCost float64
-	tbl := core.NewTable(n, true, c.Model)
+	arena := core.NewArena(0)
 	for i, v := range variants {
 		start := time.Now()
 		runs := 0
 		var res *core.Result
 		var err error
+		v.opts.Arena = arena
+		v.opts.DiscardTable = true
 		for time.Since(start) < cfg.Budget || runs == 0 {
-			res, err = core.OptimizeWith(tbl, q, v.opts)
+			res, err = core.Optimize(q, v.opts)
 			runs++
 			if err != nil {
 				return err

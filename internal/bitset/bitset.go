@@ -218,8 +218,8 @@ func NextKSubset(v Set) Set {
 	if v == 0 {
 		return 0
 	}
-	c := v & -v  // lowest set bit
-	r := v + c   // ripple it into the next run
+	c := v & -v // lowest set bit
+	r := v + c  // ripple it into the next run
 	// (v ^ r) isolates the changed bits; shifting by 2 and dividing by c
 	// right-justifies the ones that fell out of the run.
 	return r | ((v^r)>>2)/c

@@ -1,0 +1,380 @@
+// Package canon canonicalizes join-order queries into deterministic
+// fingerprints, the foundation of the facade's plan cache. Two queries that
+// differ only in how their relations are numbered traverse isomorphic DP
+// lattices and have isomorphic optimal plans (the permutation-invariance
+// property internal/check proves as a metamorphic invariant), so a cache
+// keyed by a labeling-independent fingerprint can serve one query's plan to
+// every relabeling of it.
+//
+// Canonicalize relabels the query by color refinement (Weisfeiler–Leman style)
+// over the join graph with cardinalities and selectivities as vertex/edge
+// labels, individualizing ties until every relation has a distinct canonical
+// position; relations end up sorted by (cardinality, adjacency signature).
+// The fingerprint is the full serialization of the relabeled query — not a
+// hash — so two non-isomorphic queries can never share a fingerprint: equal
+// fingerprints mean equal canonical queries, and each canonical query is a
+// relabeling of its input. An imperfect canonicalization (two isomorphic
+// queries mapping to different fingerprints, possible only when refinement
+// stalls on a non-automorphic tie) therefore costs a cache miss, never a
+// wrong plan; Canonical.Exact reports when refinement alone separated every
+// relation, which provably makes the fingerprint permutation-invariant.
+package canon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// ErrEstimator is returned for queries with a custom cardinality estimator:
+// estimator state is opaque, so neither a relabeling nor a serialization of
+// it exists. Such queries are simply uncacheable.
+var ErrEstimator = errors.New("canon: queries with a custom estimator cannot be canonicalized")
+
+// Options configures canonicalization.
+type Options struct {
+	// SelectivityQuantum, when > 0, rounds every selectivity to the nearest
+	// multiple of the quantum in log2 space before canonicalizing, so queries
+	// whose selectivities differ only by estimation noise share a fingerprint.
+	// The canonical query carries the quantized selectivities: a cached plan
+	// is exact for the quantized query and an approximation for the caller's.
+	// 0 keeps selectivities exact (the default, and the only setting under
+	// which cached plans are bit-identical to cold optimizations).
+	SelectivityQuantum float64
+}
+
+// Canonical is the result of canonicalizing a query.
+type Canonical struct {
+	// ToCanon maps original relation indexes to canonical ones:
+	// ToCanon[orig] = canon.
+	ToCanon []int
+	// ToOrig is the inverse permutation: ToOrig[canon] = orig. Cached plans —
+	// which are in canonical numbering — are rewritten back to the caller's
+	// numbering with RelabelPlan(plan, ToOrig).
+	ToOrig []int
+	// Fingerprint is the byte-exact serialization of Query. Equal
+	// fingerprints imply equal canonical queries, so a cache keyed by it can
+	// never serve a plan for a non-isomorphic query.
+	Fingerprint string
+	// Exact reports that color refinement alone assigned every relation a
+	// distinct canonical position. Refinement keys are labeling-independent,
+	// so when Exact is true the fingerprint is provably identical across all
+	// relabelings of the query. When false, ties were broken by
+	// individualization; the fingerprint is still deterministic and still
+	// never aliases non-isomorphic queries, but two relabelings of the same
+	// query may miss each other in the cache if the tied relations are not
+	// automorphic (equal-label symmetric topologies — chains, stars, cycles,
+	// cliques — tie only on automorphism orbits, where any choice is safe).
+	Exact bool
+
+	// cards and edges are the canonical query's components, retained so
+	// Query can materialize it on demand. A cache hit needs only the
+	// fingerprint and ToOrig; deferring graph construction keeps hits cheap.
+	cards    []float64
+	edges    []joingraph.Edge
+	hasGraph bool
+}
+
+// Query materializes the canonically relabeled (and, under a quantum,
+// quantized) copy of the input. It shares no mutable state with the input.
+// The engine calls this only on a cache miss, when the canonical query is
+// about to be optimized; hits never pay for graph construction.
+func (c *Canonical) Query() core.Query {
+	cq := core.Query{Cards: c.cards}
+	if c.hasGraph {
+		g := joingraph.New(len(c.cards))
+		for _, e := range c.edges {
+			g.MustAddEdge(e.A, e.B, e.Selectivity)
+		}
+		cq.Graph = g
+	}
+	return cq
+}
+
+// Canonicalize computes the canonical relabeling and fingerprint of q.
+func Canonicalize(q core.Query, opts Options) (*Canonical, error) {
+	if q.Estimator != nil {
+		return nil, ErrEstimator
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Cards)
+
+	// Normalized vertex and edge labels. −0 is folded into +0 so the two
+	// (semantically identical) cardinalities serialize identically.
+	cardBits := make([]uint64, n)
+	for i, c := range q.Cards {
+		cardBits[i] = math.Float64bits(c + 0)
+	}
+	type neighbor struct {
+		j   int
+		sel uint64
+	}
+	adj := make([][]neighbor, n)
+	var edges []joingraph.Edge
+	if q.Graph != nil {
+		edges = q.Graph.Edges()
+		for i := range edges {
+			edges[i].Selectivity = Quantize(edges[i].Selectivity, opts.SelectivityQuantum)
+			bits := math.Float64bits(edges[i].Selectivity)
+			e := edges[i]
+			adj[e.A] = append(adj[e.A], neighbor{j: e.B, sel: bits})
+			adj[e.B] = append(adj[e.B], neighbor{j: e.A, sel: bits})
+		}
+	}
+
+	// Color refinement: initial colors rank (cardinality, individualization
+	// mark); each round appends the sorted multiset of (neighbor color,
+	// selectivity) signatures and re-ranks. Every key is built from labels
+	// and colors only — never from relation indexes — so the refinement is
+	// invariant under relabeling of the input.
+	prio := make([]int, n)
+	colors := make([]int, n)
+	keys := make([]string, n)
+	idx := make([]int, n)
+	refine := func() int {
+		// Initial colors rank (cardinality bits, individualization mark)
+		// numerically — no serialization needed. When every cardinality is
+		// distinct (the common case) this single sort settles the whole
+		// refinement and the string-keyed rounds below never run.
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			if cardBits[ia] != cardBits[ib] {
+				return cardBits[ia] < cardBits[ib]
+			}
+			return prio[ia] < prio[ib]
+		})
+		d := 0
+		for r, i := range idx {
+			if r > 0 {
+				p := idx[r-1]
+				if cardBits[i] != cardBits[p] || prio[i] != prio[p] {
+					d++
+				}
+			}
+			colors[i] = d
+		}
+		distinct := d + 1
+		for distinct < n {
+			for i := range keys {
+				b := binary.AppendUvarint(nil, uint64(colors[i]))
+				sig := make([]string, 0, len(adj[i]))
+				for _, nb := range adj[i] {
+					s := binary.AppendUvarint(nil, uint64(colors[nb.j]))
+					s = binary.LittleEndian.AppendUint64(s, nb.sel)
+					sig = append(sig, string(s))
+				}
+				sort.Strings(sig)
+				for _, s := range sig {
+					b = append(b, s...)
+				}
+				keys[i] = string(b)
+			}
+			d := recolor(colors, keys)
+			if d == distinct {
+				break // stable partition; no further splitting possible
+			}
+			distinct = d
+		}
+		return distinct
+	}
+
+	distinct := refine()
+	exact := distinct == n
+	// Individualization: while ties remain, distinguish one member of the
+	// smallest tied color class and re-refine. Each round strictly increases
+	// the number of classes, so this terminates within n rounds. If the tied
+	// relations are automorphic the choice cannot affect the canonical form;
+	// if not, Exact=false flags that relabelings may diverge (a cache miss,
+	// never an aliasing).
+	for mark := 1; distinct < n; mark++ {
+		counts := make([]int, distinct)
+		for _, c := range colors {
+			counts[c]++
+		}
+		tied := -1
+		for c, k := range counts {
+			if k > 1 {
+				tied = c
+				break
+			}
+		}
+		for i, c := range colors {
+			if c == tied {
+				prio[i] = mark
+				break
+			}
+		}
+		distinct = refine()
+	}
+
+	toCanon := make([]int, n)
+	toOrig := make([]int, n)
+	copy(toCanon, colors)
+	for i, c := range toCanon {
+		toOrig[c] = i
+	}
+
+	canonCards := make([]float64, n)
+	for i := range q.Cards {
+		canonCards[toCanon[i]] = math.Float64frombits(cardBits[i])
+	}
+	// Relabel the edge list in place (it is already a copy) and restore the
+	// A < B normalization and (A, B) order the graph would impose, so the
+	// fingerprint can serialize it without building a graph.
+	for i := range edges {
+		a, b := toCanon[edges[i].A], toCanon[edges[i].B]
+		if a > b {
+			a, b = b, a
+		}
+		edges[i].A, edges[i].B = a, b
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+
+	return &Canonical{
+		ToCanon:     toCanon,
+		ToOrig:      toOrig,
+		Fingerprint: fingerprint(canonCards, edges, q.Graph != nil),
+		Exact:       exact,
+		cards:       canonCards,
+		edges:       edges,
+		hasGraph:    q.Graph != nil,
+	}, nil
+}
+
+// recolor assigns each index the rank of its key among the sorted distinct
+// keys and returns the number of distinct keys.
+func recolor(colors []int, keys []string) int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	d := 0
+	for r, i := range idx {
+		if r > 0 && keys[i] != keys[idx[r-1]] {
+			d++
+		}
+		colors[i] = d
+	}
+	return d + 1
+}
+
+// fingerprint serializes the canonical query byte-exactly: a version tag, the
+// relation count, every cardinality's IEEE bits in canonical order, and the
+// sorted (a, b, selectivity-bits) edge list. Uvarints are self-delimiting and
+// the float fields are fixed-width, so the encoding is injective.
+func fingerprint(cards []float64, edges []joingraph.Edge, hasGraph bool) string {
+	b := make([]byte, 0, 8+10*len(cards)+20*len(edges))
+	b = append(b, "bzfp1\x00"...)
+	b = binary.AppendUvarint(b, uint64(len(cards)))
+	for _, c := range cards {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c))
+	}
+	if !hasGraph {
+		b = append(b, 'P') // pure Cartesian product
+		return string(b)
+	}
+	b = append(b, 'G')
+	b = binary.AppendUvarint(b, uint64(len(edges)))
+	for _, e := range edges {
+		b = binary.AppendUvarint(b, uint64(e.A))
+		b = binary.AppendUvarint(b, uint64(e.B))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Selectivity))
+	}
+	return string(b)
+}
+
+// Quantize rounds a selectivity to the nearest multiple of quantum in log2
+// space, clamped back into the valid (0, 1] range. quantum ≤ 0 returns s
+// unchanged. Quantization in log space keeps the relative error bounded by
+// 2^(quantum/2) − 1 uniformly across the huge dynamic range selectivities
+// span (1e−9 … 1).
+func Quantize(s, quantum float64) float64 {
+	if quantum <= 0 || s <= 0 {
+		return s
+	}
+	v := math.Exp2(math.Round(math.Log2(s)/quantum) * quantum)
+	if v > 1 {
+		return 1
+	}
+	if v <= 0 { // underflow on absurdly small selectivities
+		return math.SmallestNonzeroFloat64
+	}
+	return v
+}
+
+// FoldSelectivities folds the selectivities of several predicates between the
+// same relation pair into one. Multiple predicates on a pair are a
+// conjunction, so the factors multiply — in ascending order, making the
+// result independent of the order the predicates were declared in. The
+// product of values in (0, 1] stays in (0, 1] mathematically; an underflow to
+// zero is clamped to the smallest positive double so the folded edge remains
+// a valid selectivity.
+func FoldSelectivities(sels []float64) float64 {
+	if len(sels) == 1 {
+		return sels[0]
+	}
+	sorted := append([]float64(nil), sels...)
+	sort.Float64s(sorted)
+	p := 1.0
+	for _, s := range sorted {
+		p *= s
+	}
+	if p <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return p
+}
+
+// RelabelPlan returns a deep copy of p with every relation index i replaced
+// by m[i] — both the leaf Rel fields and every node's relation bitset.
+// Cardinalities, costs and algorithm annotations are copied bitwise: a
+// relabeling permutes leaves, it does not change any estimate. The input is
+// never mutated, so cached canonical plans can be relabeled concurrently.
+func RelabelPlan(p *plan.Node, m []int) *plan.Node {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	var s bitset.Set
+	p.Set.ForEach(func(i int) { s = s.Add(m[i]) })
+	cp.Set = s
+	if p.IsLeaf() {
+		cp.Rel = m[p.Rel]
+	}
+	cp.Left = RelabelPlan(p.Left, m)
+	cp.Right = RelabelPlan(p.Right, m)
+	return &cp
+}
+
+// mustValidPerm is a debug guard shared by tests.
+func mustValidPerm(m []int, n int) error {
+	if len(m) != n {
+		return fmt.Errorf("canon: permutation length %d, want %d", len(m), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range m {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("canon: %v is not a permutation of 0..%d", m, n-1)
+		}
+		seen[v] = true
+	}
+	return nil
+}

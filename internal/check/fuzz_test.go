@@ -25,8 +25,8 @@ func FuzzOptimize(f *testing.F) {
 	f.Add([]byte{3, 5, 6, 7, 4, 1, 2, 99, 0, 3, 0})     // 4 relations, small graph
 	f.Add([]byte{7, 11, 11, 11, 11, 11, 11, 11, 11, 0}) // 8-way Cartesian product, 1e30 cards
 	f.Add([]byte{5, 4, 5, 6, 4, 5, 6, 1, 9, 1, 3, 2, 7, 0, 2, 1})
-	f.Add([]byte{2, 9, 10, 3, 2, 0, 0, 4, 3})    // near the overflow limit
-	f.Add([]byte{4, 3, 4, 5, 6, 2, 1, 0, 0, 1})  // left-deep flag set
+	f.Add([]byte{2, 9, 10, 3, 2, 0, 0, 4, 3})   // near the overflow limit
+	f.Add([]byte{4, 3, 4, 5, 6, 2, 1, 0, 0, 1}) // left-deep flag set
 	f.Add([]byte{6, 2, 3, 4, 5, 6, 7, 1, 200, 8, 1, 12, 2, 20, 3, 2, 255, 17})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fq := testutil.QueryFromBytes(data)

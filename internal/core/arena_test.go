@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"blitzsplit/internal/joingraph"
+)
+
+func arenaQuery(n int) Query {
+	cards := make([]float64, n)
+	g := joingraph.New(n)
+	for i := range cards {
+		cards[i] = float64(100 * (i + 1))
+		if i > 0 {
+			g.MustAddEdge(i-1, i, 0.01)
+		}
+	}
+	return Query{Cards: cards, Graph: g}
+}
+
+func TestArenaReusesTables(t *testing.T) {
+	a := NewArena(0)
+	t1 := a.Get(6, true, nil)
+	a.Put(t1)
+	t2 := a.Get(6, true, nil)
+	if t2 != t1 {
+		t.Fatal("same-class Get after Put should return the pooled table")
+	}
+	a.Put(t2)
+	st := a.Stats()
+	if st.Gets != 2 || st.Puts != 2 || st.Reuses != 1 || st.Live != 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.PooledTables != 1 {
+		t.Fatalf("pool should hold the one table: %+v", st)
+	}
+}
+
+// A pooled larger table serves a smaller request (best fit up), but a
+// smaller table never serves a larger request.
+func TestArenaSizeClasses(t *testing.T) {
+	a := NewArena(0)
+	big := a.Get(10, true, nil)
+	a.Put(big)
+	small := a.Get(4, true, nil)
+	if small != big {
+		t.Fatal("a 2^10 table should serve an n=4 request")
+	}
+	a.Put(small)
+	// The table's class reflects its (large) capacity even after serving a
+	// small query, so it must again be reusable at n=10.
+	again := a.Get(10, true, nil)
+	if again != big {
+		t.Fatal("table shrank class after serving a smaller query")
+	}
+	a.Put(again)
+
+	b := NewArena(0)
+	b.Put(b.Get(4, true, nil))
+	if got := b.Get(12, true, nil); got == nil {
+		t.Fatal("Get returned nil")
+	} else if st := b.Stats(); st.Reuses != 0 {
+		t.Fatalf("an n=4 table must not serve n=12: %+v", st)
+	}
+}
+
+// Put beyond the byte budget discards instead of pooling, and Live stays
+// balanced either way.
+func TestArenaByteBudget(t *testing.T) {
+	probe := NewTable(8, true, nil)
+	a := NewArena(probe.RetainedBytes()) // room for exactly one n=8 table
+	t1 := a.Get(8, true, nil)
+	t2 := a.Get(8, true, nil)
+	a.Put(t1)
+	a.Put(t2)
+	st := a.Stats()
+	if st.PooledTables != 1 || st.Discards != 1 {
+		t.Fatalf("want one pooled, one discarded: %+v", st)
+	}
+	if st.Live != 0 {
+		t.Fatalf("live tables after all returns: %+v", st)
+	}
+	if st.PooledBytes > st.Capacity {
+		t.Fatalf("pool overshot budget: %+v", st)
+	}
+}
+
+func TestArenaNilSafety(t *testing.T) {
+	var a *Arena
+	tab := a.Get(5, false, nil)
+	if tab == nil {
+		t.Fatal("nil arena must still allocate")
+	}
+	a.Put(tab) // must not panic
+	if a.Live() != 0 {
+		t.Fatal("nil arena Live should be 0")
+	}
+	if st := a.Stats(); st != (ArenaStats{}) {
+		t.Fatalf("nil arena stats should be zero: %+v", st)
+	}
+	var real Arena
+	real.Put(nil) // nil table: no-op
+	if got := real.Stats(); got.Puts != 0 {
+		t.Fatalf("Put(nil) should not count: %+v", got)
+	}
+}
+
+// Optimize with an arena must return the table on every exit path: success
+// with DiscardTable, ErrNoPlan, and mid-fill cancellation.
+func TestOptimizeReturnsTableToArena(t *testing.T) {
+	a := NewArena(0)
+
+	// Success path.
+	if _, err := Optimize(arenaQuery(6), Options{Arena: a, DiscardTable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("success path leaked %d tables", live)
+	}
+
+	// ErrNoPlan: an overflow limit below every plan's cost.
+	_, err := Optimize(arenaQuery(5), Options{Arena: a, DiscardTable: true, OverflowLimit: 1e-300})
+	if err != ErrNoPlan {
+		t.Fatalf("want ErrNoPlan, got %v", err)
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("ErrNoPlan path leaked %d tables", live)
+	}
+
+	// Cancellation mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Optimize(arenaQuery(12), Options{Arena: a, DiscardTable: true, Ctx: ctx})
+	if err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("cancellation path leaked %d tables", live)
+	}
+
+	// Result-carrying path: without DiscardTable the table transfers to the
+	// caller and Live stays positive until... the caller keeps it. That is
+	// the documented ownership handoff, not a leak.
+	res, err := Optimize(arenaQuery(6), Options{Arena: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == nil {
+		t.Fatal("caller-owned table missing")
+	}
+	if live := a.Live(); live != 1 {
+		t.Fatalf("handed-off table should count as live, got %d", live)
+	}
+	a.Put(res.Table)
+	if live := a.Live(); live != 0 {
+		t.Fatalf("after returning the handed-off table: %d", live)
+	}
+}
+
+// Arena-served optimizations must be bit-identical to fresh-table runs.
+func TestArenaResultsBitIdentical(t *testing.T) {
+	a := NewArena(0)
+	q := arenaQuery(9)
+	fresh, err := Optimize(q, Options{DiscardTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pool with runs of various sizes first.
+	for _, n := range []int{12, 5, 9} {
+		if _, err := Optimize(arenaQuery(n), Options{Arena: a, DiscardTable: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pooled, err := Optimize(q, Options{Arena: a, DiscardTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Cost != fresh.Cost || pooled.Cardinality != fresh.Cardinality {
+		t.Fatalf("arena run diverged: %v/%v vs %v/%v",
+			pooled.Cost, pooled.Cardinality, fresh.Cost, fresh.Cardinality)
+	}
+	if !pooled.Plan.Equal(fresh.Plan) {
+		t.Fatal("arena run produced a different plan")
+	}
+	if pooled.Counters != fresh.Counters {
+		t.Fatalf("arena run changed counters: %+v vs %+v", pooled.Counters, fresh.Counters)
+	}
+}
+
+func TestArenaConcurrentBalance(t *testing.T) {
+	a := NewArena(0)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				n := 4 + (w+i)%6
+				tab := a.Get(n, true, nil)
+				tab.Reset(n, true, nil)
+				a.Put(tab)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Gets != workers*40 || st.Puts != workers*40 {
+		t.Fatalf("unbalanced: %+v", st)
+	}
+	if st.Live != 0 {
+		t.Fatalf("leaked %d tables under concurrency", st.Live)
+	}
+}

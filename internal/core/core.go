@@ -143,6 +143,15 @@ type Options struct {
 	// as long as the Result lives. Callers that only want the plan should
 	// set DiscardTable (the measurement harness does).
 	DiscardTable bool
+	// Arena, when non-nil, supplies and reclaims the DP table: Optimize
+	// checks a pooled table out instead of allocating, and returns it on
+	// every path that does not hand the table to the caller — validation and
+	// budget failures, ErrNoPlan, and successes under DiscardTable. Combine
+	// with DiscardTable for fully pooled operation (the facade Engine does);
+	// without DiscardTable the checked-out table rides in Result.Table and
+	// the caller is responsible for Arena.Put. Ignored when the caller passes
+	// its own table to OptimizeWith.
+	Arena *Arena
 }
 
 func (o Options) model() cost.Model {
@@ -292,12 +301,29 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 		// for the 2^n table allocation.
 		return nil, bg.exceeded(PhaseProperties)
 	}
+	// Acquire the table: caller-supplied, arena-pooled, or freshly allocated.
+	// Once checked out of an arena the table must be returned on every path
+	// that does not hand it to the caller — the release closure below is
+	// called on each such path so budget aborts and ErrNoPlan never leak a
+	// pooled table.
+	fromArena := false
 	if t == nil {
-		t = NewTable(n, q.Graph != nil, opts.model())
+		if opts.Arena != nil {
+			t = opts.Arena.Get(n, q.Graph != nil, opts.model())
+			fromArena = true
+		} else {
+			t = NewTable(n, q.Graph != nil, opts.model())
+		}
 	} else {
 		t.Reset(n, q.Graph != nil, opts.model())
 	}
+	release := func() {
+		if fromArena {
+			opts.Arena.Put(t)
+		}
+	}
 	if err := t.initProperties(q, opts.workers(), bg); err != nil {
+		release()
 		return nil, err
 	}
 
@@ -316,12 +342,14 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 		total.Add(c)
 		total.Passes = pass
 		if err != nil {
+			release()
 			return nil, err
 		}
 		if t.Cost(t.full) < math.Inf(1) {
 			break
 		}
 		if threshold >= limit {
+			release()
 			return nil, ErrNoPlan
 		}
 		threshold *= opts.thresholdGrowth()
@@ -339,6 +367,8 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 	}
 	if !opts.DiscardTable {
 		res.Table = t
+	} else {
+		release()
 	}
 	return res, nil
 }

@@ -190,8 +190,8 @@ func TestTableReuseMatchesFresh(t *testing.T) {
 	chain, clique := joingraph.TopoChain, joingraph.TopoClique
 	steps := []step{
 		mk("big-clique-dnl", 11, &clique, cost.NewDiskNestedLoops(), 0),
-		mk("small-cartesian-naive", 5, nil, nil, 0),            // shrink: stale big-table entries must not leak
-		mk("chain-sortmerge", 9, &chain, cost.SortMerge{}, 2),  // memo column gained
+		mk("small-cartesian-naive", 5, nil, nil, 0),               // shrink: stale big-table entries must not leak
+		mk("chain-sortmerge", 9, &chain, cost.SortMerge{}, 2),     // memo column gained
 		mk("cartesian-dnl", 9, nil, cost.NewDiskNestedLoops(), 0), // fan+memo columns dropped
 		mk("grow-again", 12, &chain, cost.SortMerge{}, 4),
 	}

@@ -25,9 +25,9 @@ func TestTableReuseAcrossSizesAndModels(t *testing.T) {
 		model cost.Model
 		opts  core.Options
 	}{
-		{9, cost.SortMerge{}, core.Options{}},                 // big, memoized model
-		{4, cost.Naive{}, core.Options{}},                     // shrink: stale entries above 2⁴ must vanish
-		{4, cost.NewDiskNestedLoops(), core.Options{}},        // same n, different model
+		{9, cost.SortMerge{}, core.Options{}},          // big, memoized model
+		{4, cost.Naive{}, core.Options{}},              // shrink: stale entries above 2⁴ must vanish
+		{4, cost.NewDiskNestedLoops(), core.Options{}}, // same n, different model
 		{6, cost.NewMin(cost.SortMerge{}, cost.NewDiskNestedLoops()), core.Options{}},
 		{1, cost.Naive{}, core.Options{}},                     // degenerate single relation
 		{5, cost.SortMerge{}, core.Options{Parallelism: 4}},   // regrow under the parallel fill

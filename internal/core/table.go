@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sync"
+	"unsafe"
 
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/cost"
@@ -110,6 +111,31 @@ func growUint32s(s []uint32, size int) []uint32 {
 		return s[:size]
 	}
 	return make([]uint32, size)
+}
+
+// RetainedBytes returns the bytes pinned by the table's backing columns and
+// scratch, measured at capacity (what the allocator actually holds, not the
+// current logical length). The arena meters its pooled-byte budget with this.
+func (t *Table) RetainedBytes() uint64 {
+	const workerBytes = uint64(unsafe.Sizeof(paddedCounters{}))
+	return uint64(cap(t.card))*8 +
+		uint64(cap(t.fan))*8 +
+		uint64(cap(t.memo))*8 +
+		uint64(cap(t.cost))*8 +
+		uint64(cap(t.bestLHS))*4 +
+		uint64(cap(t.chunks))*8 +
+		uint64(cap(t.workers))*workerBytes
+}
+
+// ScratchColumns reconfigures the table for an n-relation dynamic program
+// with no fan or memo columns and hands out its three core columns for direct
+// use — the bounded-DP scratch hybrid.IDP runs on. The columns stay owned by
+// the table: callers borrow them until the table is Put back to its arena,
+// and the usual Reset contract applies (stale contents are never read because
+// the DP writes every entry before reading it).
+func (t *Table) ScratchColumns(n int) (card, planCost []float64, bestLHS []uint32) {
+	t.Reset(n, false, nil)
+	return t.card, t.cost, t.bestLHS
 }
 
 // N returns the number of relations.

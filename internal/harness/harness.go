@@ -53,21 +53,28 @@ func options(c workload.Case) core.Options {
 
 // Measure times one case: it repeats optimization until the cumulative wall
 // time reaches budget (at least one run) and averages. The repeated runs
-// share one DP table (core.OptimizeWith), so the steady state allocates
-// nothing per run — the timing measures the fill, not the allocator.
+// share one DP table via a core.Arena — each run checks the table out and
+// returns it — so the steady state allocates nothing per run: the timing
+// measures the fill, not the allocator.
 func Measure(c workload.Case, budget time.Duration) Measurement {
+	return measure(c, budget, core.NewArena(0))
+}
+
+// measure is Measure against a caller-supplied arena, so sweeps share pooled
+// tables across cases (MeasureAll) instead of re-allocating per case.
+func measure(c workload.Case, budget time.Duration, arena *core.Arena) Measurement {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
 	q := core.Query{Cards: c.Cards, Graph: c.Graph}
 	opts := options(c)
-	tbl := core.NewTable(len(c.Cards), c.Graph != nil, c.Model)
+	opts.Arena = arena
 	var runs int
 	var last *core.Result
 	var err error
 	start := time.Now()
 	for {
-		last, err = core.OptimizeWith(tbl, q, opts)
+		last, err = core.Optimize(q, opts)
 		runs++
 		if err != nil {
 			return Measurement{Case: c, Runs: runs, Err: err,
@@ -91,8 +98,9 @@ func Measure(c workload.Case, budget time.Duration) Measurement {
 // progress when non-nil.
 func MeasureAll(cases []workload.Case, budget time.Duration, progress io.Writer) []Measurement {
 	out := make([]Measurement, 0, len(cases))
+	arena := core.NewArena(0)
 	for _, c := range cases {
-		m := Measure(c, budget)
+		m := measure(c, budget, arena)
 		out = append(out, m)
 		if progress != nil {
 			if m.Err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/joingraph"
@@ -129,6 +130,12 @@ type IDPOptions struct {
 	// flight finishes, but no new round starts. Each round is 3^K-ish work,
 	// small by construction.
 	Ctx context.Context
+	// Arena, when non-nil, supplies the bounded DP's scratch columns from a
+	// pooled core.Table instead of package-private slices. The table is
+	// returned to the arena on every exit path — including mid-run
+	// cancellation — so a deadline-aborted IDP never strands a checkout
+	// (the ladder leak the arena was introduced to fix).
+	Arena *core.Arena
 }
 
 // ctxErr reports the context's error, nil when no context is set.
@@ -161,6 +168,13 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 	}
 	res := &Result{}
 	var sc dpScratch // shared across rounds: the 2^u tables are re-made once, not per round
+	if opts.Arena != nil {
+		// The first (largest) round runs the DP over all len(units) units, so
+		// one checkout sized for it serves every later round via Reset. The
+		// deferred Put covers cancellation between rounds.
+		sc.tbl = opts.Arena.Get(len(units), false, nil)
+		defer opts.Arena.Put(sc.tbl)
+	}
 	for len(units) > 1 {
 		faultinject.Inject(faultinject.HybridRound)
 		if err := opts.ctxErr(); err != nil {
@@ -200,6 +214,9 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 // Capacities only shrink as IDP collapses units, so after round one the DP
 // runs allocation-free.
 type dpScratch struct {
+	// tbl, when non-nil, backs card/cost/lhs with an arena-pooled core.Table
+	// (via ScratchColumns) instead of private slices.
+	tbl        *core.Table
 	card, cost []float64
 	lhs        []uint32
 	sel        [][]float64
@@ -211,16 +228,20 @@ type dpScratch struct {
 // the same reason core.Table.Reset's are: every entry the DP reads is
 // written first (singletons here, larger subsets in ascending-size order).
 func (sc *dpScratch) resize(u, block int) {
-	size := 1 << uint(u)
-	if cap(sc.card) >= size {
-		sc.card, sc.cost = sc.card[:size], sc.cost[:size]
+	if sc.tbl != nil {
+		sc.card, sc.cost, sc.lhs = sc.tbl.ScratchColumns(u)
 	} else {
-		sc.card, sc.cost = make([]float64, size), make([]float64, size)
-	}
-	if cap(sc.lhs) >= size {
-		sc.lhs = sc.lhs[:size]
-	} else {
-		sc.lhs = make([]uint32, size)
+		size := 1 << uint(u)
+		if cap(sc.card) >= size {
+			sc.card, sc.cost = sc.card[:size], sc.cost[:size]
+		} else {
+			sc.card, sc.cost = make([]float64, size), make([]float64, size)
+		}
+		if cap(sc.lhs) >= size {
+			sc.lhs = sc.lhs[:size]
+		} else {
+			sc.lhs = make([]uint32, size)
+		}
 	}
 	if cap(sc.sel) >= u {
 		sc.sel = sc.sel[:u]

@@ -1,0 +1,241 @@
+// Package plancache is a sharded, byte-bounded LRU cache mapping canonical
+// query fingerprints (internal/canon) to optimized plans. It is the storage
+// layer of the facade's Engine: lookups take a per-shard mutex only, shard
+// selection hashes the key but membership is decided by exact string
+// equality, so a hash collision can never serve the wrong entry.
+package plancache
+
+import (
+	"sync"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/plan"
+)
+
+// Defaults applied by New when the corresponding argument is zero.
+const (
+	DefaultMaxBytes = 64 << 20 // 64 MiB across all shards
+	DefaultShards   = 16
+)
+
+// Entry is one cached optimization outcome, in canonical relation numbering.
+// The Plan tree is shared by every cache hit and must be treated as
+// immutable; the engine relabels (deep-copies) it before handing it out.
+type Entry struct {
+	Plan        *plan.Node
+	Cost        float64
+	Cardinality float64
+	// Counters are the instrumentation of the cold run that produced the
+	// entry; hits report them unchanged.
+	Counters core.Counters
+}
+
+// Stats is a point-in-time aggregate over all shards.
+type Stats struct {
+	// Hits and Misses count Get outcomes; every Get is exactly one of the
+	// two, so Hits+Misses equals the number of lookups served.
+	Hits, Misses uint64
+	// Puts counts store operations (including overwrites of an existing key).
+	Puts uint64
+	// Evictions counts entries dropped to make room; Rejects counts entries
+	// refused outright because they alone exceed a shard's byte budget.
+	Evictions, Rejects uint64
+	// Entries and Bytes are the current footprint; Capacity and Shards echo
+	// the configuration.
+	Entries  int
+	Bytes    uint64
+	Capacity uint64
+	Shards   int
+}
+
+// Cache is a sharded LRU plan cache. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+}
+
+type lruNode struct {
+	key        string
+	entry      Entry
+	bytes      uint64
+	prev, next *lruNode // intrusive LRU list; head side is most recent
+}
+
+type shard struct {
+	mu       sync.Mutex
+	m        map[string]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	bytes    uint64
+	maxBytes uint64
+	hits     uint64
+	misses   uint64
+	puts     uint64
+	evicts   uint64
+	rejects  uint64
+}
+
+// New returns a cache bounded to maxBytes split across the given number of
+// shards (rounded up to a power of two). Zero arguments select the defaults.
+func New(maxBytes uint64, shards int) *Cache {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	np := 1
+	for np < shards {
+		np <<= 1
+	}
+	perShard := maxBytes / uint64(np)
+	if perShard == 0 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]shard, np), mask: uint64(np - 1)}
+	for i := range c.shards {
+		c.shards[i] = shard{m: make(map[string]*lruNode), maxBytes: perShard}
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a) to pick a shard. The hash decides
+// placement only — lookup inside the shard is exact string equality.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the entry stored under key, marking it most recently used.
+func (c *Cache) Get(key string) (Entry, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.m[key]
+	if !ok {
+		s.misses++
+		return Entry{}, false
+	}
+	s.hits++
+	s.moveToFront(n)
+	return n.entry, true
+}
+
+// Put stores the entry under key, evicting least-recently-used entries as
+// needed to stay inside the shard's byte budget. An entry that alone exceeds
+// the budget is rejected (counted in Stats.Rejects) rather than flushing the
+// whole shard for a single oversized plan.
+func (c *Cache) Put(key string, e Entry) {
+	size := entryBytes(key, e)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if size > s.maxBytes {
+		s.rejects++
+		return
+	}
+	if old, ok := s.m[key]; ok {
+		s.bytes -= old.bytes
+		old.entry = e
+		old.bytes = size
+		s.bytes += size
+		s.moveToFront(old)
+	} else {
+		n := &lruNode{key: key, entry: e, bytes: size}
+		s.m[key] = n
+		s.pushFront(n)
+		s.bytes += size
+	}
+	for s.bytes > s.maxBytes && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.bytes -= victim.bytes
+		s.evicts++
+	}
+}
+
+// Snapshot aggregates counters and footprint across all shards. The sums are
+// taken shard by shard under each shard's lock, so concurrent traffic can
+// move counts between the reads — every individual counter is exact, the
+// cross-shard aggregate is a consistent-enough observability view.
+func (c *Cache) Snapshot() Stats {
+	var st Stats
+	st.Shards = len(c.shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Puts += s.puts
+		st.Evictions += s.evicts
+		st.Rejects += s.rejects
+		st.Entries += len(s.m)
+		st.Bytes += s.bytes
+		st.Capacity += s.maxBytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+func (s *shard) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *shard) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard) moveToFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+// entryBytes estimates an entry's resident size: the key string, the plan
+// tree (one Node allocation per tree node), and fixed map/list bookkeeping.
+// The estimate is what the byte budget meters; it intentionally errs a
+// little high per node so the cache stays inside its configured footprint.
+func entryBytes(key string, e Entry) uint64 {
+	const (
+		nodeBytes  = 96  // plan.Node (64 B) plus allocator/pointer overhead
+		fixedBytes = 160 // lruNode, map slot, string header
+	)
+	return uint64(len(key)) + fixedBytes + uint64(countNodes(e.Plan))*nodeBytes
+}
+
+func countNodes(n *plan.Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}

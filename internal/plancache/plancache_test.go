@@ -1,0 +1,201 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/plan"
+)
+
+func leafPlan(card float64) *plan.Node {
+	return &plan.Node{Set: bitset.Of(0), Rel: 0, Card: card}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(0, 0)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := Entry{Plan: leafPlan(42), Cost: 7, Cardinality: 42}
+	c.Put("k", want)
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if got.Plan != want.Plan || got.Cost != 7 || got.Cardinality != 42 {
+		t.Fatalf("round trip changed entry: %+v", got)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("counters after one miss, one put, one hit: %+v", st)
+	}
+	if st.Shards != DefaultShards || st.Capacity != DefaultMaxBytes {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+}
+
+func TestShardCountRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := New(0, tc.in).Snapshot().Shards; got != tc.want {
+			t.Fatalf("shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// A single-shard cache makes LRU order observable: filling past the budget
+// must evict the least recently used key, and a Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	// Entries are keyBytes + 160 fixed (nil plan); budget fits three.
+	perEntry := entryBytes("k0", Entry{})
+	c := New(perEntry*3, 1)
+	c.Put("k0", Entry{Cost: 0})
+	c.Put("k1", Entry{Cost: 1})
+	c.Put("k2", Entry{Cost: 2})
+	if st := c.Snapshot(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("three entries should fit exactly: %+v", st)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 vanished")
+	}
+	c.Put("k3", Entry{Cost: 3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if st := c.Snapshot(); st.Evictions != 1 {
+		t.Fatalf("want exactly one eviction: %+v", st)
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	c := New(0, 1)
+	c.Put("k", Entry{Cost: 1})
+	c.Put("k", Entry{Cost: 2})
+	got, ok := c.Get("k")
+	if !ok || got.Cost != 2 {
+		t.Fatalf("overwrite not visible: %+v ok=%v", got, ok)
+	}
+	st := c.Snapshot()
+	if st.Entries != 1 || st.Puts != 2 {
+		t.Fatalf("overwrite miscounted: %+v", st)
+	}
+	if st.Bytes != entryBytes("k", Entry{Cost: 2}) {
+		t.Fatalf("overwrite leaked bytes: %+v", st)
+	}
+}
+
+// An entry larger than a shard's whole budget must be refused, not admitted
+// by flushing everything else.
+func TestOversizedEntryRejected(t *testing.T) {
+	small := entryBytes("a", Entry{})
+	c := New(small, 1)
+	c.Put("a", Entry{})
+	big := Entry{Plan: leafPlan(1)} // +96 bytes pushes it over
+	c.Put("oversized", big)
+	if _, ok := c.Get("oversized"); ok {
+		t.Fatal("oversized entry was admitted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("rejecting an oversized entry must not disturb residents")
+	}
+	st := c.Snapshot()
+	if st.Rejects != 1 || st.Evictions != 0 {
+		t.Fatalf("want one reject, no evictions: %+v", st)
+	}
+}
+
+// Byte accounting: Bytes tracks the live set exactly through puts,
+// overwrites and evictions, and never exceeds Capacity.
+func TestByteAccounting(t *testing.T) {
+	c := New(2048, 2)
+	var wantTotal uint64
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		c.Put(key, Entry{Plan: leafPlan(float64(i))})
+	}
+	st := c.Snapshot()
+	if st.Bytes > st.Capacity {
+		t.Fatalf("cache overshot its budget: %+v", st)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var sum uint64
+		for _, n := range s.m {
+			sum += n.bytes
+		}
+		if sum != s.bytes {
+			t.Fatalf("shard %d bytes %d, entries sum to %d", i, s.bytes, sum)
+		}
+		wantTotal += sum
+		s.mu.Unlock()
+	}
+	if st.Bytes != wantTotal {
+		t.Fatalf("snapshot bytes %d, shards hold %d", st.Bytes, wantTotal)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("test should have forced evictions; raise the put count")
+	}
+}
+
+// Concurrent mixed traffic must be race-clean and keep exact counters:
+// every Get is a hit or a miss, and puts are all counted.
+func TestConcurrentCounters(t *testing.T) {
+	c := New(1<<20, 8)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%50)
+				if i%2 == 0 {
+					c.Put(key, Entry{Cost: float64(i)})
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Puts != workers*perW/2 {
+		t.Fatalf("puts %d, want %d", st.Puts, workers*perW/2)
+	}
+	if st.Hits+st.Misses != workers*perW/2 {
+		t.Fatalf("hits %d + misses %d ≠ gets %d", st.Hits, st.Misses, workers*perW/2)
+	}
+}
+
+// Keys must never alias across shards: same-hash placement is irrelevant
+// because membership is string equality.
+func TestDistinctKeysNeverAlias(t *testing.T) {
+	c := New(1<<20, 4)
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%d", i)
+		c.Put(keys[i], Entry{Cost: float64(i)})
+	}
+	for i, k := range keys {
+		got, ok := c.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		if got.Cost != float64(i) {
+			t.Fatalf("key %d returned entry with cost %v", i, got.Cost)
+		}
+	}
+}

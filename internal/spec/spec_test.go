@@ -157,3 +157,65 @@ func TestExampleIsValid(t *testing.T) {
 		t.Errorf("example spec invalid: %v", err)
 	}
 }
+
+// TestDuplicateJoinVariants pins the duplicate-predicate contract the facade
+// relies on: spec files keep at most one predicate per relation pair — every
+// duplicate shape is rejected with ErrDuplicateJoin regardless of
+// orientation, selectivity, or multiplicity — while distinct pairs sharing
+// relations remain legal. (The facade's Query builder, by contrast, folds
+// duplicates as a conjunction; the spec layer is the strict one.)
+func TestDuplicateJoinVariants(t *testing.T) {
+	rels := []catalog.Relation{
+		{Name: "A", Cardinality: 10},
+		{Name: "B", Cardinality: 20},
+		{Name: "C", Cardinality: 30},
+	}
+	cases := []struct {
+		name    string
+		joins   []Join
+		wantDup bool
+	}{
+		{"same orientation", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "A", B: "B", Selectivity: 0.5},
+		}, true},
+		{"reversed orientation", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "B", B: "A", Selectivity: 0.5},
+		}, true},
+		{"different selectivity still duplicate", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "A", B: "B", Selectivity: 0.1},
+		}, true},
+		{"triple duplicate", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "B", B: "A", Selectivity: 0.4},
+			{A: "A", B: "B", Selectivity: 0.3},
+		}, true},
+		{"duplicate after valid pair", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "B", B: "C", Selectivity: 0.4},
+			{A: "C", B: "B", Selectivity: 0.3},
+		}, true},
+		{"shared relation, distinct pairs", []Join{
+			{A: "A", B: "B", Selectivity: 0.5},
+			{A: "B", B: "C", Selectivity: 0.4},
+			{A: "A", B: "C", Selectivity: 0.3},
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &File{Relations: rels, Joins: tc.joins}
+			err := f.Validate()
+			if tc.wantDup {
+				if !errors.Is(err, ErrDuplicateJoin) {
+					t.Fatalf("want ErrDuplicateJoin, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid join set rejected: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package blitzsplit
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+)
+
+// config collects optimization options.
+type config struct {
+	opts      core.Options
+	attachAlg bool
+	ctx       context.Context
+	timeout   time.Duration
+	ladder    bool
+}
+
+// newConfig folds a caller's options into a config.
+func newConfig(options []Option) (config, error) {
+	var cfg config
+	for _, o := range options {
+		if err := o(&cfg); err != nil {
+			return config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// model returns the configured cost model, defaulting like core does.
+func (c config) model() CostModel {
+	if c.opts.Model == nil {
+		return cost.Naive{}
+	}
+	return c.opts.Model
+}
+
+// budgetContext derives the run's governing context from WithContext and
+// WithTimeout; nil when neither was given.
+func (c config) budgetContext() (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return c.ctx, func() {}
+	}
+	base := c.ctx
+	if base == nil {
+		base = context.Background()
+	}
+	return context.WithTimeout(base, c.timeout)
+}
+
+// Option configures Optimize.
+type Option func(*config) error
+
+// WithCostModel selects the cost model by name: "naive" (κ0), "sortmerge"
+// (κsm), "dnl" (κdnl), "hash", or a composite like "min(sortmerge,dnl)"
+// modelling the availability of multiple join algorithms (§6.5). The default
+// is "naive".
+func WithCostModel(name string) Option {
+	return func(c *config) error {
+		m, err := cost.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.opts.Model = m
+		return nil
+	}
+}
+
+// WithModel supplies a CostModel value directly.
+func WithModel(m CostModel) Option {
+	return func(c *config) error {
+		if m == nil {
+			return errors.New("blitzsplit: nil cost model")
+		}
+		c.opts.Model = m
+		return nil
+	}
+}
+
+// WithLeftDeep restricts the search to left-deep vines (the comparison space
+// of §6.2). Cartesian products remain allowed.
+func WithLeftDeep() Option {
+	return func(c *config) error {
+		c.opts.LeftDeep = true
+		return nil
+	}
+}
+
+// WithParallelism fills the DP table with w parallel workers. The table's
+// rank layers (subsets of equal popcount) depend only on lower layers, so
+// each layer is partitioned across workers; plans, costs and counters are
+// bit-identical to the default serial fill. 0 restores the serial fill;
+// values beyond runtime.GOMAXPROCS add no speedup.
+func WithParallelism(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return errors.New("blitzsplit: parallelism must be ≥ 0")
+		}
+		c.opts.Parallelism = w
+		return nil
+	}
+}
+
+// WithCostThreshold enables §6.4 plan-cost-threshold pruning: plans costing
+// more than threshold are summarily rejected, and optimization retries with
+// a 1000× larger threshold whenever a pass finds no plan. Queries with cheap
+// plans optimize faster; expensive ones pay for extra passes.
+func WithCostThreshold(threshold float64) Option {
+	return func(c *config) error {
+		if threshold <= 0 {
+			return errors.New("blitzsplit: cost threshold must be positive")
+		}
+		c.opts.CostThreshold = threshold
+		return nil
+	}
+}
+
+// WithOverflowLimit overrides the cost overflow limit (default: the
+// single-precision float maximum, mirroring the paper's float32 cost
+// representation, §6.3).
+func WithOverflowLimit(limit float64) Option {
+	return func(c *config) error {
+		if limit <= 0 {
+			return errors.New("blitzsplit: overflow limit must be positive")
+		}
+		c.opts.OverflowLimit = limit
+		return nil
+	}
+}
+
+// WithAlgorithms attaches the winning physical join algorithm to every join
+// node after optimization (meaningful with a min(...) composite model; §6.5).
+func WithAlgorithms() Option {
+	return func(c *config) error {
+		c.attachAlg = true
+		return nil
+	}
+}
+
+// WithContext bounds the optimization by the context: cancellation or
+// deadline stops the run cooperatively (within a few thousand split loops)
+// and Optimize returns a *BudgetError wrapping ErrBudgetExceeded and the
+// context's error — unless WithDeadlineLadder is also set, in which case a
+// deadline degrades to cheaper optimizers instead of failing. When calling
+// Engine.Optimize, this option takes precedence over the method's context
+// argument.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) error {
+		if ctx == nil {
+			return errors.New("blitzsplit: nil context")
+		}
+		c.ctx = ctx
+		return nil
+	}
+}
+
+// WithTimeout bounds the optimization to d of wall time; it is WithContext
+// with a deadline d from the moment Optimize is called. Combine with
+// WithDeadlineLadder to get a (possibly degraded) plan instead of an error
+// when the budget runs out.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return errors.New("blitzsplit: timeout must be positive")
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithMemoryBudget rejects the optimization up front — before anything is
+// allocated — when the DP table's exact footprint (four 2^n-element columns;
+// see core.TableFootprint) exceeds budget bytes. Without WithDeadlineLadder
+// the rejection surfaces as a *BudgetError; with it, the ladder skips
+// straight to the bounded-memory rungs (IDP, then greedy). A plan-cache hit
+// is exempt: serving a cached plan allocates no table at all.
+func WithMemoryBudget(budget uint64) Option {
+	return func(c *config) error {
+		if budget == 0 {
+			return errors.New("blitzsplit: memory budget must be positive")
+		}
+		c.opts.MemoryBudget = budget
+		return nil
+	}
+}
+
+// WithDeadlineLadder makes Optimize degrade instead of fail when a budget
+// (WithTimeout, WithContext deadline, WithMemoryBudget) runs out, walking a
+// ladder of ever-cheaper optimizers and recording the winning rung in
+// Result.Mode:
+//
+//	exhaustive → threshold-pruned exhaustive → bounded IDP + polish → greedy
+//
+// With a deadline, each attempted rung gets half the remaining budget so
+// lower rungs always retain time to run; the greedy floor is O(n²) and needs
+// effectively none. Every rung's plan passes Result.Verify. Explicit
+// cancellation (context.Canceled, as opposed to a deadline) aborts the
+// ladder and returns the budget error: a caller that cancelled wants no
+// answer at all.
+func WithDeadlineLadder() Option {
+	return func(c *config) error {
+		c.ladder = true
+		return nil
+	}
+}

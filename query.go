@@ -1,0 +1,126 @@
+package blitzsplit
+
+import (
+	"errors"
+	"fmt"
+
+	"blitzsplit/internal/canon"
+	"blitzsplit/internal/catalog"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/engine"
+	"blitzsplit/internal/joingraph"
+)
+
+// Query is a join-order optimization problem under construction. The zero
+// value is not usable; call NewQuery.
+type Query struct {
+	cat   *catalog.Catalog
+	edges []edgeSpec
+}
+
+type edgeSpec struct {
+	a, b        string
+	selectivity float64
+}
+
+// NewQuery returns an empty query.
+func NewQuery() *Query {
+	return &Query{cat: catalog.New()}
+}
+
+// AddRelation adds a base relation with the given name and (estimated)
+// cardinality. Relations are ordered by insertion; at most 30 are supported.
+func (q *Query) AddRelation(name string, cardinality float64) error {
+	_, err := q.cat.Add(catalog.Relation{Name: name, Cardinality: cardinality})
+	return err
+}
+
+// MustAddRelation is AddRelation that panics on error.
+func (q *Query) MustAddRelation(name string, cardinality float64) {
+	if err := q.AddRelation(name, cardinality); err != nil {
+		panic(err)
+	}
+}
+
+// Join declares an equi-join predicate between two previously added
+// relations with the given selectivity in (0, 1]. Declaring several
+// predicates between the same pair is allowed — a conjunction — and their
+// selectivities are folded into a single multiplicative factor at build time,
+// independently of declaration order.
+func (q *Query) Join(a, b string, selectivity float64) error {
+	if _, ok := q.cat.Index(a); !ok {
+		return fmt.Errorf("blitzsplit: unknown relation %q", a)
+	}
+	if _, ok := q.cat.Index(b); !ok {
+		return fmt.Errorf("blitzsplit: unknown relation %q", b)
+	}
+	q.edges = append(q.edges, edgeSpec{a: a, b: b, selectivity: selectivity})
+	return nil
+}
+
+// MustJoin is Join that panics on error.
+func (q *Query) MustJoin(a, b string, selectivity float64) {
+	if err := q.Join(a, b, selectivity); err != nil {
+		panic(err)
+	}
+}
+
+// NumRelations returns the number of relations added so far.
+func (q *Query) NumRelations() int { return q.cat.Len() }
+
+// RelationNames returns the relation names in insertion order — the index
+// order used in Plan leaves.
+func (q *Query) RelationNames() []string { return q.cat.Names() }
+
+// build materializes the internal query representation. Repeated predicates
+// between one relation pair are a conjunction: their selectivities fold into
+// one edge factor deterministically (canon.FoldSelectivities multiplies in
+// sorted order), so the graph — which rejects duplicate edges outright —
+// sees each pair once and declaration order cannot change the result.
+func (q *Query) build() (core.Query, error) {
+	n := q.cat.Len()
+	if n == 0 {
+		return core.Query{}, errors.New("blitzsplit: query has no relations")
+	}
+	var g *joingraph.Graph
+	if len(q.edges) > 0 {
+		type pair struct{ a, b int }
+		groups := make(map[pair][]float64, len(q.edges))
+		var order []pair
+		for _, e := range q.edges {
+			if !(e.selectivity > 0 && e.selectivity <= 1) {
+				return core.Query{}, fmt.Errorf(
+					"blitzsplit: join %s⋈%s selectivity %v is outside (0, 1]", e.a, e.b, e.selectivity)
+			}
+			ai, _ := q.cat.Index(e.a)
+			bi, _ := q.cat.Index(e.b)
+			k := pair{ai, bi}
+			if bi < ai {
+				k = pair{bi, ai}
+			}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], e.selectivity)
+		}
+		g = joingraph.New(n)
+		for _, k := range order {
+			if err := g.AddEdge(k.a, k.b, canon.FoldSelectivities(groups[k])); err != nil {
+				return core.Query{}, err
+			}
+		}
+	}
+	return core.Query{Cards: q.cat.Cardinalities(), Graph: g}, nil
+}
+
+// Synthesize materializes an in-memory database instance matching the
+// query's cardinalities and selectivities (deterministically from seed), so
+// optimized plans can be executed and estimates compared against actual
+// result sizes.
+func (q *Query) Synthesize(seed int64) (*Database, error) {
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Synthesize(cq.Cards, cq.Graph, seed)
+}

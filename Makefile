@@ -11,11 +11,11 @@ FUZZTIME ?= 10s
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/plancache
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/plancache ./internal/server ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve serve-smoke fuzz-smoke cover
 
-ci: fmt vet build test race stress cover fuzz-smoke
+ci: fmt vet build test race stress cover fuzz-smoke serve-smoke
 
 # gofmt is the style gate: any file needing reformatting fails the build.
 fmt:
@@ -51,6 +51,9 @@ stress:
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent' \
 		./internal/core/ ./internal/hybrid/ ./internal/plancache/ .
+	$(GO) test -race -timeout 600s -count=5 \
+		-run 'Stress|Coalesc|Drain|Shed|Overload' \
+		./internal/server/ ./internal/telemetry/
 
 # Run every native fuzz target for FUZZTIME each, starting from the
 # checked-in corpora under internal/check/testdata/fuzz/. Go allows only one
@@ -84,3 +87,32 @@ bench-parallel:
 bench-cache:
 	$(GO) test -run '^$$' -bench 'EngineCache' -benchmem .
 	$(GO) run ./cmd/blitzbench -exp cache -quiet
+
+# Regenerate BENCH_serve.json (see EXPERIMENTS.md): closed-loop load against
+# the blitzd serving stack at several concurrency levels.
+bench-serve:
+	$(GO) run ./cmd/blitzbench -exp serve -budget 2s -serve-json BENCH_serve.json
+
+# End-to-end smoke of cmd/blitzd: start it on an ephemeral port, optimize one
+# query, scrape /metrics, then shut down cleanly via SIGTERM and require
+# exit 0. Guards the flag wiring and signal path that the in-process tests
+# cannot see.
+serve-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/blitzd-smoke ./cmd/blitzd; \
+	/tmp/blitzd-smoke -addr 127.0.0.1:0 >/tmp/blitzd-smoke.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.* listening on //p' /tmp/blitzd-smoke.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "blitzd never announced its address"; kill $$pid; exit 1; }; \
+	body='{"relations":[{"name":"A","cardinality":1000},{"name":"B","cardinality":5000}],"joins":[{"a":"A","b":"B","selectivity":0.001}]}'; \
+	resp=$$(curl -sf -d "$$body" "http://$$addr/v1/optimize") || { echo "optimize request failed"; kill $$pid; exit 1; }; \
+	echo "$$resp" | grep -q '"mode":"exhaustive"' || { echo "unexpected response: $$resp"; kill $$pid; exit 1; }; \
+	curl -sf "http://$$addr/metrics" | grep -q 'blitzd_requests_total{code="200"} 1' || { echo "/metrics missing request count"; kill $$pid; exit 1; }; \
+	curl -sf "http://$$addr/readyz" >/dev/null || { echo "/readyz not ready"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "blitzd exited nonzero after SIGTERM"; exit 1; }; \
+	grep -q "drained, bye" /tmp/blitzd-smoke.log || { echo "no drain farewell in log"; exit 1; }; \
+	echo "serve-smoke: OK"

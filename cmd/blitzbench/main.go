@@ -13,6 +13,7 @@
 //	blitzbench -exp baselines          # blitzsplit vs Selinger/no-CP/stochastic
 //	blitzbench -exp parallel           # rank-layer parallel fill: speedup vs workers
 //	blitzbench -exp cache              # plan-cache serving: cold vs warm engine
+//	blitzbench -exp serve              # closed-loop load against the blitzd stack
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -22,11 +23,14 @@
 //	-maxn int       top n for fig2 and the parallel experiment (default 15)
 //	-parallel int   optimizer worker count for every experiment (0 = serial)
 //	-timeout dur    wall-time budget for the whole run; exceeding it exits 3
-//	-mem-budget b   refuse up front if the largest DP table exceeds b bytes (exit 3)
+//	-mem-budget b   refuse up front if the largest DP table exceeds b bytes, e.g. 64MiB (exit 3)
 //	-cache          enable the warm engine's plan cache in -exp cache (default true)
 //	-cache-bytes b  plan-cache byte budget for -exp cache (0 = engine default)
+//	-qps rate       pace the -exp serve load generator at this global rate (0 = flat out)
+//	-serve-json p   write the -exp serve measurement artifact (BENCH_serve.json) to p
 //	-csv path       also write raw measurements as CSV
 //	-quiet          suppress per-case progress lines
+//	-version        print version and build info, then exit
 //
 // Exit codes: 0 success, 1 experiment failure, 2 usage error, 3 budget
 // exceeded (global timeout fired or memory admission refused the run).
@@ -42,8 +46,10 @@ import (
 	"time"
 
 	"blitzsplit/internal/bench"
+	"blitzsplit/internal/buildinfo"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
+	"blitzsplit/internal/units"
 )
 
 const (
@@ -63,36 +69,62 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
 	budget := fs.Duration("budget", 200*time.Millisecond, "minimum wall time per measured point")
 	timeout := fs.Duration("timeout", 0, "wall-time budget for the whole run (0 = none); exceeding it exits 3")
-	memBudget := fs.Uint64("mem-budget", 0, "byte budget for the largest DP table (0 = none); refusal exits 3")
+	memBudgetStr := fs.String("mem-budget", "", "byte budget for the largest DP table, e.g. 64MiB (empty = none); refusal exits 3")
 	cache := fs.Bool("cache", true, "enable the warm engine's plan cache in -exp cache")
-	cacheBytes := fs.Uint64("cache-bytes", 0, "plan-cache byte budget for -exp cache (0 = engine default)")
+	cacheBytesStr := fs.String("cache-bytes", "", "plan-cache byte budget for -exp cache, e.g. 64MiB (empty = engine default)")
+	qps := fs.Float64("qps", 0, "pace the -exp serve load generator at this global request rate (0 = flat out)")
+	serveJSON := fs.String("serve-json", "", "write the -exp serve measurement artifact to this path")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress")
+	version := fs.Bool("version", false, "print version and build info, then exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(out, "blitzbench", buildinfo.String())
+		return exitOK
 	}
 	if *exp == "" {
 		fs.Usage()
 		return exitUsage
 	}
+	var memBudget, cacheBytes uint64
+	for _, b := range []struct {
+		flag string
+		val  string
+		dst  *uint64
+	}{
+		{"-mem-budget", *memBudgetStr, &memBudget},
+		{"-cache-bytes", *cacheBytesStr, &cacheBytes},
+	} {
+		if b.val == "" {
+			continue
+		}
+		v, err := units.ParseBytes(b.val)
+		if err != nil {
+			fmt.Fprintf(errOut, "blitzbench: %s: %v\n", b.flag, err)
+			return exitUsage
+		}
+		*b.dst = v
+	}
 	// Memory admission: the biggest table any experiment will fill is for
 	// max(n, maxn) relations under the worst-case column set (join graph +
 	// memoizing model). Refuse before the sweep starts rather than OOM an
 	// hour in.
-	if *memBudget > 0 {
+	if memBudget > 0 {
 		big := *n
 		if *maxN > big {
 			big = *maxN
 		}
-		if fp := core.TableFootprint(big, true, cost.SortMerge{}); fp > *memBudget {
+		if fp := core.TableFootprint(big, true, cost.SortMerge{}); fp > memBudget {
 			fmt.Fprintln(errOut, "blitzbench: table footprint "+strconv.FormatUint(fp, 10)+
-				" B at n="+strconv.Itoa(big)+" exceeds -mem-budget "+strconv.FormatUint(*memBudget, 10)+" B")
+				" B at n="+strconv.Itoa(big)+" exceeds -mem-budget "+strconv.FormatUint(memBudget, 10)+" B")
 			return exitBudget
 		}
 	}
@@ -116,8 +148,10 @@ func runMain(args []string, out, errOut io.Writer) int {
 		Progress:      progress,
 		Out:           out,
 		Parallelism:   *parallel,
-		CacheBytes:    *cacheBytes,
+		CacheBytes:    cacheBytes,
 		CacheDisabled: !*cache,
+		ServeQPS:      *qps,
+		ServeJSON:     *serveJSON,
 	}
 	code := exitOK
 	for _, name := range strings.Split(*exp, ",") {

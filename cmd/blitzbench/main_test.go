@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -19,6 +22,7 @@ func TestRunMainExitCodes(t *testing.T) {
 		{"missing -exp", nil, exitUsage},
 		{"bad flag", []string{"-definitely-not-a-flag"}, exitUsage},
 		{"memory admission refusal", []string{"-exp", "cache", "-mem-budget", "1", "-quiet"}, exitBudget},
+		{"unparseable mem-budget", []string{"-exp", "cache", "-mem-budget", "12parsecs", "-quiet"}, exitUsage},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -27,6 +31,45 @@ func TestRunMainExitCodes(t *testing.T) {
 				t.Fatalf("runMain(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, errOut.String())
 			}
 		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := runMain([]string{"-version"}, &out, &errOut); got != exitOK {
+		t.Fatalf("exit = %d, want %d", got, exitOK)
+	}
+	if !strings.HasPrefix(out.String(), "blitzbench ") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
+// The serve experiment must run end to end — real loopback HTTP, paced load,
+// telemetry cross-checks — and leave a well-formed measurement artifact.
+func TestServeExperimentWritesArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errOut bytes.Buffer
+	args := []string{"-exp", "serve", "-n", "8", "-budget", "1ms", "-quiet",
+		"-qps", "2000", "-serve-json", path}
+	if got := runMain(args, &out, &errOut); got != exitOK {
+		t.Fatalf("exit %d\nstderr: %s", got, errOut.String())
+	}
+	if !strings.Contains(out.String(), "coalesced%") {
+		t.Errorf("report missing coalescing column:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art struct {
+		Benchmark string           `json:"benchmark"`
+		Results   []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, b)
+	}
+	if art.Benchmark == "" || len(art.Results) == 0 {
+		t.Errorf("degenerate artifact: %s", b)
 	}
 }
 

@@ -1,0 +1,161 @@
+// Command blitzd serves join-order optimization over HTTP: the blitzsplit
+// Engine behind request coalescing, admission control, and a telemetry
+// layer (see internal/server).
+//
+// Usage:
+//
+//	blitzd [flags]
+//
+// Flags:
+//
+//	-addr a           listen address (default :7433)
+//	-max-inflight n   concurrently admitted optimizations (0 = 2×GOMAXPROCS)
+//	-admission-wait d time a request may queue for a slot before 503 (100ms)
+//	-timeout d        default per-request optimization deadline (2s)
+//	-max-timeout d    cap on client-requested deadlines (30s)
+//	-max-n n          largest accepted relation count (30)
+//	-mem-budget b     per-request DP-table byte budget, e.g. 64MiB (0 = arena budget)
+//	-cache-bytes b    plan-cache byte budget, e.g. 64MiB (0 = 64MiB default)
+//	-arena-bytes b    DP-table arena byte budget (0 = 256MiB default)
+//	-quantum q        selectivity quantum for cache sharing (0 = exact)
+//	-drain-timeout d  grace period for in-flight requests on shutdown (10s)
+//	-version          print version and build info, then exit
+//
+// Endpoints: POST /v1/optimize, GET /metrics, GET /debug/vars, GET /healthz,
+// GET /readyz.
+//
+//	curl -s localhost:7433/v1/optimize -d '{
+//	  "relations": [{"name": "A", "cardinality": 1000},
+//	                {"name": "B", "cardinality": 5000}],
+//	  "joins": [{"a": "A", "b": "B", "selectivity": 0.001}]
+//	}'
+//
+// On SIGTERM or SIGINT blitzd drains gracefully: /readyz flips to 503, new
+// optimize requests are refused, in-flight requests run to completion (up to
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blitzsplit"
+	"blitzsplit/internal/buildinfo"
+	"blitzsplit/internal/server"
+	"blitzsplit/internal/units"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// runMain is main minus process exit and signal wiring, so the serve/drain
+// lifecycle is testable: the test injects its own signal channel and sends
+// SIGTERM when it has asserted the serving behavior.
+func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("blitzd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	addr := fs.String("addr", ":7433", "listen address")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrently admitted optimizations (0 = 2×GOMAXPROCS)")
+	admissionWait := fs.Duration("admission-wait", 0, "time a request may queue for a slot before 503 (0 = 100ms)")
+	timeout := fs.Duration("timeout", 0, "default per-request optimization deadline (0 = 2s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
+	maxN := fs.Int("max-n", 0, "largest accepted relation count (0 = 30)")
+	memBudget := fs.String("mem-budget", "", "per-request DP-table byte budget, e.g. 64MiB (empty = arena budget)")
+	cacheBytes := fs.String("cache-bytes", "", "plan-cache byte budget, e.g. 64MiB (empty = 64MiB default)")
+	arenaBytes := fs.String("arena-bytes", "", "DP-table arena byte budget (empty = 256MiB default)")
+	quantum := fs.Float64("quantum", 0, "selectivity quantum for cache sharing (0 = exact, bit-identical hits)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	version := fs.Bool("version", false, "print version and build info, then exit")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(out, "blitzd", buildinfo.String())
+		return exitOK
+	}
+
+	cfg := server.Config{
+		MaxInFlight:    *maxInFlight,
+		AdmissionWait:  *admissionWait,
+		RequestTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRelations:   *maxN,
+		EngineOptions:  blitzsplit.EngineOptions{SelectivityQuantum: *quantum},
+	}
+	for _, b := range []struct {
+		flag string
+		val  string
+		dst  *uint64
+	}{
+		{"-mem-budget", *memBudget, &cfg.MemBudget},
+		{"-cache-bytes", *cacheBytes, &cfg.EngineOptions.CacheBytes},
+		{"-arena-bytes", *arenaBytes, &cfg.EngineOptions.ArenaBytes},
+	} {
+		if b.val == "" {
+			continue
+		}
+		v, err := units.ParseBytes(b.val)
+		if err != nil {
+			fmt.Fprintf(errOut, "blitzd: %s: %v\n", b.flag, err)
+			return exitUsage
+		}
+		*b.dst = v
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(errOut, "blitzd:", err)
+		return exitError
+	}
+	// The resolved address line is load-bearing: with -addr :0 (tests, smoke
+	// targets) it is how the caller learns the port.
+	fmt.Fprintf(out, "blitzd %s listening on %s\n", buildinfo.String(), ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(out, "blitzd: %v: draining (readiness down, %v grace)\n", sig, *drainTimeout)
+		// Flip readiness first so load balancers stop routing here, then let
+		// the HTTP layer wait out the in-flight handlers.
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(errOut, "blitzd: drain cut short:", err)
+			return exitError
+		}
+		fmt.Fprintln(out, "blitzd: drained, bye")
+		return exitOK
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(errOut, "blitzd:", err)
+			return exitError
+		}
+		return exitOK
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/faultinject"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: runMain writes from the
+// serving goroutine while the test polls String.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := runMain([]string{"-version"}, &out, &errOut, nil); got != exitOK {
+		t.Fatalf("exit = %d, want %d", got, exitOK)
+	}
+	if !strings.HasPrefix(out.String(), "blitzd ") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-mem-budget", "12parsecs"},
+		{"-cache-bytes", "-3"},
+		{"-arena-bytes", "x"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if got := runMain(args, &out, &errOut, nil); got != exitUsage {
+			t.Errorf("runMain(%v) = %d, want %d\n%s", args, got, exitUsage, errOut.String())
+		}
+	}
+}
+
+func TestListenError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := runMain([]string{"-addr", "127.0.0.1:99999"}, &out, &errOut, nil); got != exitError {
+		t.Fatalf("exit = %d, want %d\n%s", got, exitError, errOut.String())
+	}
+}
+
+// TestServeDrain runs the whole lifecycle: serve on an ephemeral port, hold
+// one optimization in flight at a ladder rung, deliver SIGTERM, and assert
+// that readiness was up beforehand, the in-flight request still completes
+// with 200, and the process drains to exit 0.
+func TestServeDrain(t *testing.T) {
+	out := &syncBuffer{}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- runMain([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"},
+			out, io.Discard, sigs)
+	}()
+
+	// The resolved-address line is the contract for -addr :0.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if s := out.String(); strings.Contains(s, " listening on ") {
+			rest := s[strings.Index(s, " listening on ")+len(" listening on "):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", got)
+	}
+
+	// Hold one optimization open at its first ladder rung.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var enterOnce, gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	faultinject.Set(faultinject.FacadeRung, func() {
+		enterOnce.Do(func() { close(entered); <-gate })
+	})
+	defer faultinject.Reset()
+	defer release()
+
+	body := `{"relations":[{"name":"A","cardinality":1000},{"name":"B","cardinality":5000},
+	          {"name":"C","cardinality":200}],
+	          "joins":[{"a":"A","b":"B","selectivity":0.001},{"a":"B","b":"C","selectivity":0.01}]}`
+	respCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			respCode <- 0
+			return
+		}
+		resp.Body.Close()
+		respCode <- resp.StatusCode
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("optimization never reached the ladder")
+	}
+
+	// SIGTERM with the request still in flight: drain must wait for it.
+	sigs <- syscall.SIGTERM
+	time.Sleep(100 * time.Millisecond) // let Shutdown start waiting
+	release()
+
+	select {
+	case code := <-respCode:
+		if code != http.StatusOK {
+			t.Errorf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case exit := <-done:
+		if exit != exitOK {
+			t.Errorf("exit = %d, want %d\n%s", exit, exitOK, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runMain never returned after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "drained, bye") {
+		t.Errorf("missing drain farewell:\n%s", s)
+	}
+}

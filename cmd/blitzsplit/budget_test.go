@@ -38,36 +38,6 @@ func writeChainSpec(t *testing.T, n int, card float64) string {
 	return path
 }
 
-func TestParseBytes(t *testing.T) {
-	good := []struct {
-		in   string
-		want uint64
-	}{
-		{"0", 0},
-		{"1048576", 1 << 20},
-		{"64KiB", 64 << 10},
-		{"64KB", 64 << 10},
-		{"64K", 64 << 10},
-		{"64k", 64 << 10},
-		{"32MiB", 32 << 20},
-		{"2GiB", 2 << 30},
-		{" 7 MiB ", 7 << 20},
-	}
-	for _, c := range good {
-		got, err := parseBytes(c.in)
-		if err != nil {
-			t.Errorf("parseBytes(%q): %v", c.in, err)
-		} else if got != c.want {
-			t.Errorf("parseBytes(%q) = %d, want %d", c.in, got, c.want)
-		}
-	}
-	for _, in := range []string{"", "MiB", "-1", "12.5K", "12QB", "99999999999999999999", "18446744073709551615K"} {
-		if v, err := parseBytes(in); err == nil {
-			t.Errorf("parseBytes(%q) = %d, want error", in, v)
-		}
-	}
-}
-
 // TestExitCodes drives runMain through each contract code: usage, budget
 // (timeout and memory admission), no-plan overflow, and the ladder's
 // degraded success.

@@ -21,6 +21,7 @@
 //	-algorithms      annotate joins with the winning algorithm (min models)
 //	-json            emit the plan as JSON instead of the ASCII tree
 //	-counters        print the instrumentation counters
+//	-version         print version and build info, then exit
 //
 // Exit codes: 0 success, 1 generic failure, 2 usage error, 3 budget
 // exceeded (timeout, cancellation, or memory admission), 4 no plan within
@@ -34,13 +35,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"blitzsplit"
+	"blitzsplit/internal/buildinfo"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/spec"
+	"blitzsplit/internal/units"
 )
 
 // Distinct exit codes so scripts and orchestration can react to budget
@@ -85,37 +86,6 @@ func exitCode(err error) int {
 // errUsage marks command-line misuse (bad flags, wrong arguments).
 var errUsage = errors.New("usage error")
 
-// parseBytes parses a byte count with an optional binary-unit suffix:
-// "1048576", "64KiB"/"64KB"/"64K", "32MiB", "2GiB". Units are powers of
-// 1024.
-func parseBytes(s string) (uint64, error) {
-	t := strings.TrimSpace(s)
-	upper := strings.ToUpper(t)
-	var shift uint
-	for _, u := range []struct {
-		suffix string
-		shift  uint
-	}{
-		{"KIB", 10}, {"MIB", 20}, {"GIB", 30},
-		{"KB", 10}, {"MB", 20}, {"GB", 30},
-		{"K", 10}, {"M", 20}, {"G", 30},
-	} {
-		if strings.HasSuffix(upper, u.suffix) && len(upper) > len(u.suffix) {
-			shift = u.shift
-			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
-			break
-		}
-	}
-	v, err := strconv.ParseUint(t, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("invalid byte count %q (use e.g. 1048576, 64KiB, 32MiB)", s)
-	}
-	if shift > 0 && v > (uint64(1)<<(64-shift))-1 {
-		return 0, fmt.Errorf("byte count %q overflows", s)
-	}
-	return v << shift, nil
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("blitzsplit", flag.ContinueOnError)
 	modelName := fs.String("model", "naive", "cost model (naive | sortmerge | dnl | hash | min(a,b,…))")
@@ -131,8 +101,13 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the plan as JSON")
 	counters := fs.Bool("counters", false, "print instrumentation counters")
 	example := fs.Bool("example", false, "print a sample query spec and exit")
+	version := fs.Bool("version", false, "print version and build info, then exit")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *version {
+		fmt.Fprintln(out, "blitzsplit", buildinfo.String())
+		return nil
 	}
 	if *example {
 		data, err := json.MarshalIndent(spec.Example(), "", "  ")
@@ -188,7 +163,7 @@ func run(args []string, out io.Writer) error {
 		options = append(options, blitzsplit.WithTimeout(*timeout))
 	}
 	if *memBudget != "" {
-		b, err := parseBytes(*memBudget)
+		b, err := units.ParseBytes(*memBudget)
 		if err != nil {
 			return fmt.Errorf("%w: -mem-budget: %v", errUsage, err)
 		}
@@ -207,7 +182,7 @@ func run(args []string, out io.Writer) error {
 	if *cache || *cacheBytes != "" {
 		var eo blitzsplit.EngineOptions
 		if *cacheBytes != "" {
-			b, err := parseBytes(*cacheBytes)
+			b, err := units.ParseBytes(*cacheBytes)
 			if err != nil {
 				return fmt.Errorf("%w: -cache-bytes: %v", errUsage, err)
 			}

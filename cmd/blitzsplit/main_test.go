@@ -116,3 +116,13 @@ func TestErrors(t *testing.T) {
 		t.Error("bogus model accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "blitzsplit ") {
+		t.Errorf("version output = %q", out.String())
+	}
+}

@@ -375,6 +375,25 @@ func TestEngineConcurrentStress(t *testing.T) {
 	if st.Arena.Live != 0 {
 		t.Fatalf("stress leaked %d tables", st.Arena.Live)
 	}
+	// Arena accounting must balance to the unit: every checkout returned, and
+	// the Live gauge is definitionally their difference.
+	if st.Arena.Gets != st.Arena.Puts {
+		t.Fatalf("arena gets %d ≠ puts %d after quiescence", st.Arena.Gets, st.Arena.Puts)
+	}
+	if st.Arena.Gets < st.Cache.Misses {
+		t.Fatalf("arena gets %d < cache misses %d: every cold run fills a table", st.Arena.Gets, st.Cache.Misses)
+	}
+	// With hundreds of same-sized cold runs the pool must actually recycle.
+	if st.Arena.Reuses == 0 {
+		t.Fatal("arena never reused a pooled table across the stress run")
+	}
+	// Cache footprint gauges must be consistent with the stored entries.
+	if st.Cache.Entries <= 0 || st.Cache.Bytes == 0 {
+		t.Fatalf("cache footprint degenerate after %d puts: %+v", st.Cache.Puts, st.Cache)
+	}
+	if st.Cache.Evictions != 0 && st.Cache.Bytes > st.Cache.Capacity {
+		t.Fatalf("cache over capacity despite evictions: %+v", st.Cache)
+	}
 }
 
 // Under a selectivity quantum, noisy selectivity variants of one shape share

@@ -44,6 +44,12 @@ type Config struct {
 	// CacheDisabled runs the cache-serving experiment's "warm" engine with
 	// its cache off — the control measurement.
 	CacheDisabled bool
+	// ServeQPS paces the serving experiment's load generator at a global
+	// request rate (0 = unpaced closed loop). Ignored by other experiments.
+	ServeQPS float64
+	// ServeJSON, when nonempty, is where the serving experiment writes its
+	// BENCH_serve.json measurement artifact.
+	ServeJSON string
 }
 
 func (c Config) n() int {
@@ -79,7 +85,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -122,6 +128,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Parallel(cfg)
 	case "cache":
 		err = CacheServing(cfg)
+	case "serve":
+		err = ServeLoad(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

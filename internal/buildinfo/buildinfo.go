@@ -1,0 +1,61 @@
+// Package buildinfo carries the version string stamped into every binary in
+// this module. The Makefile sets it at link time with
+//
+//	go build -ldflags "-X blitzsplit/internal/buildinfo.Version=$(git describe)"
+//
+// so blitzsplit, blitzbench, and blitzd all report the same provenance from
+// one place; unstamped builds report "dev" plus whatever VCS metadata the Go
+// toolchain embedded.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version is the module version stamped via -ldflags; "dev" when unset.
+var Version = "dev"
+
+// String renders a one-line build description: the stamped version, the VCS
+// revision the toolchain recorded (when present), and the Go runtime.
+func String() string {
+	var b strings.Builder
+	b.WriteString(Version)
+	if rev, dirty := vcsRevision(); rev != "" {
+		b.WriteString(" (")
+		b.WriteString(rev)
+		if dirty {
+			b.WriteString("-dirty")
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" ")
+	b.WriteString(runtime.Version())
+	b.WriteString(" ")
+	b.WriteString(runtime.GOOS)
+	b.WriteString("/")
+	b.WriteString(runtime.GOARCH)
+	return b.String()
+}
+
+// vcsRevision extracts the (shortened) VCS revision and dirty flag from the
+// build info the toolchain embeds for builds inside a repository.
+func vcsRevision() (rev string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}

@@ -1,0 +1,35 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringContainsVersionAndRuntime(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+
+	Version = "v1.2.3-test"
+	s := String()
+	if !strings.HasPrefix(s, "v1.2.3-test") {
+		t.Errorf("String() = %q, want prefix %q", s, "v1.2.3-test")
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("String() = %q, want Go runtime %q", s, runtime.Version())
+	}
+	if !strings.Contains(s, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Errorf("String() = %q, want platform %s/%s", s, runtime.GOOS, runtime.GOARCH)
+	}
+}
+
+func TestDefaultVersionIsDev(t *testing.T) {
+	// The test binary is never stamped; the default must hold so unstamped
+	// builds are identifiable as such.
+	if Version != "dev" {
+		t.Skipf("Version stamped to %q in this build", Version)
+	}
+	if !strings.HasPrefix(String(), "dev") {
+		t.Errorf("String() = %q, want prefix dev", String())
+	}
+}

@@ -1,0 +1,172 @@
+// Package telemetry is a dependency-free metrics layer for the serving
+// subsystem: atomic counters, callback gauges, and log2-bucket latency
+// histograms, collected in a Registry that renders both the Prometheus text
+// exposition format (served at /metrics) and a JSON snapshot (served at
+// /debug/vars). Everything is safe for concurrent use; counter increments
+// and histogram observations are single atomic operations on the hot path.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing uint64. Incrementing is one atomic
+// add; reads are exact (never sampled), which the serving tests rely on when
+// they assert request accounting to the last unit.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// histBuckets is the number of log2 latency buckets: bucket i holds
+// observations d with d ≤ 2^i nanoseconds, so the range spans 1 ns to ~9.2 s
+// ... and far beyond (2^63 ns ≈ 292 years) — every observable latency lands
+// in a real bucket and +Inf exists only to satisfy the exposition format.
+const histBuckets = 64
+
+// A Histogram accumulates durations into log2-width buckets. Observation is
+// two atomic adds (bucket count and sum); quantiles are estimated from the
+// bucket upper bounds, so they are exact to within a factor of 2 — the right
+// trade for a serving loop that must not allocate or lock per request.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sumNS  atomic.Uint64
+	count  atomic.Uint64
+}
+
+// bucketIndex returns the smallest i with ns ≤ 2^i.
+func bucketIndex(ns uint64) int {
+	if ns <= 1 {
+		return 0
+	}
+	return bits.Len64(ns - 1)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing that rank: an overestimate by at most 2×. Returns 0 when
+// nothing has been observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return time.Duration(uint64(1) << i)
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// metricKind discriminates what a registered metric renders as.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered time series: a name, an optional constant label
+// set (rendered inside {} verbatim), help text, and the value source.
+type metric struct {
+	name   string
+	labels string
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      func() float64
+	h      *Histogram
+}
+
+// Registry holds an ordered set of metrics. Register methods return existing
+// metrics when called twice with the same (name, labels) pair, so independent
+// components can share a series without coordinating initialization order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[[2]string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[[2]string]*metric)}
+}
+
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := [2]string{m.name, m.labels}
+	if old, ok := r.index[key]; ok {
+		return old
+	}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter under name with the
+// given constant labels (e.g. `code="503"`; empty for none).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	m := r.register(&metric{name: name, labels: labels, help: help, kind: kindCounter, c: &Counter{}})
+	return m.c
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition time —
+// the natural shape for snapshot sources like Engine.Stats. Re-registering
+// the same (name, labels) keeps the first callback.
+func (r *Registry) GaugeFunc(name, labels, help string, f func() float64) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: kindGauge, g: f})
+}
+
+// Histogram registers (or returns the existing) log2 latency histogram.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	m := r.register(&metric{name: name, labels: labels, help: help, kind: kindHistogram, h: &Histogram{}})
+	return m.h
+}
+
+// snapshotMetrics copies the metric list under the lock; the metrics
+// themselves are read atomically afterwards.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}

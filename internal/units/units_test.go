@@ -1,0 +1,77 @@
+package units
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	good := []struct {
+		in   string
+		want uint64
+	}{
+		{"0", 0},
+		{"1048576", 1 << 20},
+		{"64KiB", 64 << 10},
+		{"64KB", 64 << 10},
+		{"64K", 64 << 10},
+		{"64k", 64 << 10},
+		{"32MiB", 32 << 20},
+		{"2GiB", 2 << 30},
+		{" 7 MiB ", 7 << 20},
+	}
+	for _, c := range good {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "MiB", "-1", "12.5K", "12QB", "99999999999999999999", "18446744073709551615K"} {
+		if v, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{1023, "1023"},
+		{1024, "1KiB"},
+		{64 << 10, "64KiB"},
+		{32 << 20, "32MiB"},
+		{3 << 30, "3GiB"},
+		{(1 << 20) + 1, "1048577"},
+		{1536, "1536"}, // 1.5 KiB does not divide exactly — stays decimal
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// FormatBytes must round-trip through ParseBytes bit-exactly for any value.
+func TestFormatParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := []uint64{0, 1, 1023, 1024, 1 << 20, 1 << 30, 1<<64 - 1, 3 << 30}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for _, v := range vals {
+		s := FormatBytes(v)
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Fatalf("ParseBytes(FormatBytes(%d) = %q): %v", v, s, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d → %q → %d", v, s, got)
+		}
+	}
+}

@@ -8,14 +8,20 @@ GO ?= go
 # Per-target budget for the fuzz smoke (the nightly deep run raises this).
 FUZZTIME ?= 10s
 
+# Allowed ns/op ratio over the checked-in BENCH_hotpath.json before
+# bench-gate fails. Generous by default: CI hosts are often single-core and
+# noisy, and allocation counts (gated with a fixed slack of 2) are the
+# stable regression signal.
+BENCH_GATE_THRESHOLD ?= 1.6
+
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
 COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/plancache ./internal/server ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve serve-smoke fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-gate bench-gate-soft profile serve-smoke fuzz-smoke cover
 
-ci: fmt vet build test race stress cover fuzz-smoke serve-smoke
+ci: fmt vet build test race stress cover fuzz-smoke serve-smoke bench-gate-soft
 
 # gofmt is the style gate: any file needing reformatting fails the build.
 fmt:
@@ -49,8 +55,8 @@ race:
 # shutdown and the cache/arena locking.
 stress:
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent' \
-		./internal/core/ ./internal/hybrid/ ./internal/plancache/ .
+		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent|Canonicalizer' \
+		./internal/core/ ./internal/hybrid/ ./internal/plancache/ ./internal/canon/ .
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'Stress|Coalesc|Drain|Shed|Overload' \
 		./internal/server/ ./internal/telemetry/
@@ -92,6 +98,37 @@ bench-cache:
 # the blitzd serving stack at several concurrency levels.
 bench-serve:
 	$(GO) run ./cmd/blitzbench -exp serve -budget 2s -serve-json BENCH_serve.json
+
+# Re-measure the serve hot paths (cache hit + cold fill at n=12) and rewrite
+# the BENCH_hotpath.json artifact with fresh "after" rows.
+bench-hotpath:
+	$(GO) run ./cmd/blitzbench -exp hotpath -quiet -hotpath-json BENCH_hotpath.json
+
+# The benchstat-style regression gate: re-measure the hot paths and compare
+# against the checked-in BENCH_hotpath.json. Fails (exit 1) when ns/op
+# regresses beyond BENCH_GATE_THRESHOLD or allocs/op beyond a slack of 2.
+bench-gate:
+	$(GO) run ./cmd/blitzbench -exp hotpath -quiet -gate BENCH_hotpath.json \
+		-gate-threshold $(BENCH_GATE_THRESHOLD)
+
+# ci runs the gate in soft mode by default: timing on shared CI hosts is too
+# noisy to block merges on, so a failure warns loudly but only fails the
+# build when BENCH_GATE_HARD=1 is exported (e.g. on a quiet benchmarking
+# host).
+bench-gate-soft:
+	@$(MAKE) bench-gate || { \
+		if [ "$(BENCH_GATE_HARD)" = "1" ]; then \
+			echo "bench-gate: FAILED (hard mode)"; exit 1; \
+		else \
+			echo "bench-gate: FAILED (soft mode — not blocking; export BENCH_GATE_HARD=1 to enforce)"; \
+		fi; }
+
+# One-stop profiling run: CPU + allocation profiles of the hotpath experiment,
+# ready for go tool pprof.
+profile:
+	$(GO) run ./cmd/blitzbench -exp hotpath -quiet \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof — inspect with: $(GO) tool pprof cpu.prof"
 
 # End-to-end smoke of cmd/blitzd: start it on an ephemeral port, optimize one
 # query, scrape /metrics, then shut down cleanly via SIGTERM and require

@@ -14,6 +14,7 @@
 //	blitzbench -exp parallel           # rank-layer parallel fill: speedup vs workers
 //	blitzbench -exp cache              # plan-cache serving: cold vs warm engine
 //	blitzbench -exp serve              # closed-loop load against the blitzd stack
+//	blitzbench -exp hotpath            # serve hot paths: cache hit + cold fill, before/after
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -28,6 +29,11 @@
 //	-cache-bytes b  plan-cache byte budget for -exp cache (0 = engine default)
 //	-qps rate       pace the -exp serve load generator at this global rate (0 = flat out)
 //	-serve-json p   write the -exp serve measurement artifact (BENCH_serve.json) to p
+//	-hotpath-json p write the -exp hotpath measurement artifact (BENCH_hotpath.json) to p
+//	-gate p         gate -exp hotpath against the artifact at p; regressions exit 1
+//	-gate-threshold f  allowed ns/op ratio over the gate baseline (default 1.6)
+//	-cpuprofile p   write a CPU profile of the run to p (go tool pprof)
+//	-memprofile p   write an allocation profile to p on exit
 //	-csv path       also write raw measurements as CSV
 //	-quiet          suppress per-case progress lines
 //	-version        print version and build info, then exit
@@ -69,7 +75,7 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
@@ -80,9 +86,14 @@ func runMain(args []string, out, errOut io.Writer) int {
 	cacheBytesStr := fs.String("cache-bytes", "", "plan-cache byte budget for -exp cache, e.g. 64MiB (empty = engine default)")
 	qps := fs.Float64("qps", 0, "pace the -exp serve load generator at this global request rate (0 = flat out)")
 	serveJSON := fs.String("serve-json", "", "write the -exp serve measurement artifact to this path")
+	hotpathJSON := fs.String("hotpath-json", "", "write the -exp hotpath measurement artifact to this path")
+	gateJSON := fs.String("gate", "", "gate -exp hotpath against the artifact at this path; regressions exit 1")
+	gateThreshold := fs.Float64("gate-threshold", 0, "allowed ns/op ratio over the -gate baseline (0 = default 1.6)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
 	quiet := fs.Bool("quiet", false, "suppress per-case progress")
 	version := fs.Bool("version", false, "print version and build info, then exit")
+	var prof bench.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -152,11 +163,24 @@ func runMain(args []string, out, errOut io.Writer) int {
 		CacheDisabled: !*cache,
 		ServeQPS:      *qps,
 		ServeJSON:     *serveJSON,
+		HotpathJSON:   *hotpathJSON,
+		GateJSON:      *gateJSON,
+		GateThreshold: *gateThreshold,
+	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(errOut, "blitzbench:", err)
+		return exitError
 	}
 	code := exitOK
 	for _, name := range strings.Split(*exp, ",") {
 		if e := bench.Run(strings.TrimSpace(name), cfg, *csvPath); e != nil {
 			fmt.Fprintln(errOut, "blitzbench:", e)
+			code = exitError
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(errOut, "blitzbench:", err)
+		if code == exitOK {
 			code = exitError
 		}
 	}

@@ -22,7 +22,14 @@
 //	-version          print version and build info, then exit
 //
 // Endpoints: POST /v1/optimize, GET /metrics, GET /debug/vars, GET /healthz,
-// GET /readyz.
+// GET /readyz, and the net/http/pprof profiling suite under GET
+// /debug/pprof/ — live CPU profiles with
+//
+//	go tool pprof http://localhost:7433/debug/pprof/profile?seconds=30
+//
+// and allocation profiles with
+//
+//	go tool pprof http://localhost:7433/debug/pprof/allocs
 //
 //	curl -s localhost:7433/v1/optimize -d '{
 //	  "relations": [{"name": "A", "cardinality": 1000},

@@ -21,6 +21,8 @@
 //	-algorithms      annotate joins with the winning algorithm (min models)
 //	-json            emit the plan as JSON instead of the ASCII tree
 //	-counters        print the instrumentation counters
+//	-cpuprofile p    write a CPU profile of the run to p (go tool pprof)
+//	-memprofile p    write an allocation profile to p on exit
 //	-version         print version and build info, then exit
 //
 // Exit codes: 0 success, 1 generic failure, 2 usage error, 3 budget
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"blitzsplit"
+	"blitzsplit/internal/bench"
 	"blitzsplit/internal/buildinfo"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/spec"
@@ -102,9 +105,19 @@ func run(args []string, out io.Writer) error {
 	counters := fs.Bool("counters", false, "print instrumentation counters")
 	example := fs.Bool("example", false, "print a sample query spec and exit")
 	version := fs.Bool("version", false, "print version and build info, then exit")
+	var prof bench.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "blitzsplit:", err)
+		}
+	}()
 	if *version {
 		fmt.Fprintln(out, "blitzsplit", buildinfo.String())
 		return nil

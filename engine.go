@@ -54,6 +54,19 @@ type Engine struct {
 	cache   *plancache.Cache // nil when disabled
 	arena   *core.Arena
 	quantum float64
+	// scratch pools serveScratch values so concurrent Optimize calls never
+	// contend on one canonicalizer and a steady-state cache hit performs O(1)
+	// small allocations.
+	scratch sync.Pool
+}
+
+// serveScratch is the reusable per-Optimize state of the serve path: the
+// canonicalizer's refinement scratch and the cache-key buffer. Everything in
+// it is overwritten by the next use and must not be referenced after the
+// scratch is returned to the pool.
+type serveScratch struct {
+	canon canon.Canonicalizer
+	key   []byte
 }
 
 // New returns an Engine with the given options.
@@ -62,6 +75,7 @@ func New(opts EngineOptions) *Engine {
 		arena:   core.NewArena(opts.ArenaBytes),
 		quantum: opts.SelectivityQuantum,
 	}
+	e.scratch.New = func() any { return new(serveScratch) }
 	if !opts.DisableCache {
 		e.cache = plancache.New(opts.CacheBytes, opts.CacheShards)
 	}
@@ -125,7 +139,7 @@ func (e *Engine) Optimize(ctx context.Context, q *Query, options ...Option) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return e.optimizeQuery(cq, cfg, q.cat.Names())
+	return e.optimizeQuery(cq, cfg, q.names())
 }
 
 // optimizeQuery is the engine's spine: cache lookup, cold optimization of
@@ -143,25 +157,36 @@ func (e *Engine) optimizeQuery(cq core.Query, cfg config, names []string) (*Resu
 		}
 		return cfg.finish(o, names, cq), nil
 	}
-	cn, err := canon.Canonicalize(cq, canon.Options{SelectivityQuantum: e.quantum})
-	if err != nil {
+	sc := e.scratch.Get().(*serveScratch)
+	if err := sc.canon.Canonicalize(cq, canon.Options{SelectivityQuantum: e.quantum}); err != nil {
+		e.scratch.Put(sc)
 		return nil, err
 	}
-	key := cacheKey(cn.Fingerprint, cfg.opts)
-	if ent, ok := e.cache.Get(key); ok {
-		o := &outcome{
-			plan:     canon.RelabelPlan(ent.Plan, cn.ToOrig),
+	sc.key = appendCacheKey(sc.key[:0], sc.canon.Fingerprint(), cfg.opts)
+	if ent, ok := e.cache.GetBytes(sc.key); ok {
+		// The hit path runs entirely out of scratch: the relabeled plan (one
+		// slab allocation) is the only state that outlives it. The outcome is
+		// a local — finish only reads it, so it never escapes to the heap.
+		o := outcome{
+			plan:     canon.RelabelPlan(ent.Plan, sc.canon.ToOrig()),
 			cost:     ent.Cost,
 			card:     ent.Cardinality,
 			counters: ent.Counters,
 			mode:     ModeExhaustive,
 			cached:   true,
 		}
-		e.reanchor(o, cq, cfg)
-		return cfg.finish(o, names, cq), nil
+		e.scratch.Put(sc)
+		e.reanchor(&o, cq, cfg)
+		return cfg.finish(&o, names, cq), nil
 	}
-	// Miss: optimize the canonical query, not the caller's labeling, so the
-	// stored entry — and therefore every future hit, after relabeling — is
+	// Miss: materialize the canonical result off the scratch before releasing
+	// it — the cold run below may run for seconds and must not pin (or race
+	// with another Optimize over) the pooled buffers.
+	key := string(sc.key)
+	cn := sc.canon.Canonical()
+	e.scratch.Put(sc)
+	// Optimize the canonical query, not the caller's labeling, so the stored
+	// entry — and therefore every future hit, after relabeling — is
 	// bit-identical to this cold result.
 	o, err := e.run(cn.Query(), cfg)
 	if err != nil {
@@ -219,16 +244,17 @@ func (e *Engine) run(cq core.Query, cfg config) (*outcome, error) {
 	return e.runLadder(cq, cfg, ctx)
 }
 
-// cacheKey extends the canonical fingerprint with every option that changes
-// which plan is optimal: the cost model, the left-deep restriction, and the
-// overflow limit. Deliberately absent: CostThreshold (the threshold identity
-// — a thresholded run returns the same plan or fails, though its pass
-// counters differ, so a hit's Counters describe the run that populated the
-// entry), Parallelism (the parallel fill is bit-identical), and the budget
-// options (they decide whether a cold run finishes, never which plan wins).
-func cacheKey(fp string, opts core.Options) string {
-	b := make([]byte, 0, len(fp)+48)
-	b = append(b, fp...)
+// appendCacheKey extends the canonical fingerprint with every option that
+// changes which plan is optimal: the cost model, the left-deep restriction,
+// and the overflow limit. Deliberately absent: CostThreshold (the threshold
+// identity — a thresholded run returns the same plan or fails, though its
+// pass counters differ, so a hit's Counters describe the run that populated
+// the entry), Parallelism (the parallel fill is bit-identical), and the
+// budget options (they decide whether a cold run finishes, never which plan
+// wins). The key is appended into dst so the serve path can reuse one buffer
+// per lookup; only custom models allocate (via fmt).
+func appendCacheKey(dst []byte, fp []byte, opts core.Options) []byte {
+	b := append(dst, fp...)
 	b = append(b, 0)
 	if opts.LeftDeep {
 		b = append(b, 'L')
@@ -248,9 +274,9 @@ func cacheKey(fp string, opts core.Options) string {
 		// named but differently parameterized custom models. Two distinct
 		// values of a semantically equal model can at worst miss, never
 		// alias.
-		b = append(b, fmt.Sprintf("%T|%+v", m, m)...)
+		b = fmt.Appendf(b, "%T|%+v", m, m)
 	}
-	return string(b)
+	return b
 }
 
 // Optimize runs Algorithm blitzsplit over the query and returns the optimal

@@ -554,3 +554,86 @@ func TestDuplicateJoinFolding(t *testing.T) {
 		t.Fatal("out-of-range duplicate selectivity accepted")
 	}
 }
+
+// The serve hot path's allocation budget, asserted: once an entry is cached,
+// Optimize on the same engine must perform O(1) small allocations — the
+// relabeled plan slab, the Result, and nothing proportional to n beyond them.
+// The pooled Canonicalizer scratch and the byte-keyed cache lookup are what
+// keep WL refinement and the fingerprint off the per-hit heap.
+func TestEngineCacheHitAllocs(t *testing.T) {
+	const n = 12
+	cards, edges := starQuery(n)
+	eng := New(EngineOptions{})
+	q := permutedQuery(t, cards, edges, identityPerm(n))
+	if _, err := eng.Optimize(nil, q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		res, err := eng.Optimize(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatal("must measure the hit path")
+		}
+	})
+	if allocs >= 10 {
+		t.Errorf("cache hit allocated %v times per op, want < 10", allocs)
+	}
+}
+
+// Eight goroutines hammer one Engine — and therefore one sync.Pool of
+// Canonicalizer scratch — with permuted resubmissions of the same logical
+// query. Every hit must be bit-identical to the cold reference: a pooled
+// scratch object leaking state between borrowers would surface here as a
+// diverging fingerprint (a spurious miss) or a corrupted relabeling (Verify
+// failure). Run under -race by the Makefile's stress target.
+func TestEngineCanonicalizerStress(t *testing.T) {
+	const n, workers, reps = 10, 8, 40
+	cards, edges := starQuery(n)
+	eng := New(EngineOptions{})
+	cold, err := eng.Optimize(nil, permutedQuery(t, cards, edges, identityPerm(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*Query, 64)
+	rng := rand.New(rand.NewSource(17))
+	for i := range queries {
+		queries[i] = permutedQuery(t, cards, edges, rng.Perm(n))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < reps; rep++ {
+				res, err := eng.Optimize(nil, queries[(w*reps+rep)%len(queries)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Cached {
+					errs <- fmt.Errorf("worker %d rep %d: fingerprint diverged (cache miss)", w, rep)
+					return
+				}
+				if math.Float64bits(res.Cost) != math.Float64bits(cold.Cost) {
+					errs <- fmt.Errorf("worker %d rep %d: cost %v ≠ %v", w, rep, res.Cost, cold.Cost)
+					return
+				}
+				if err := res.Verify(); err != nil {
+					errs <- fmt.Errorf("worker %d rep %d: served plan invalid: %v", w, rep, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := eng.Stats(); st.Cache.Misses != 1 {
+		t.Errorf("expected exactly one miss (the cold fill), got %+v", st.Cache)
+	}
+}

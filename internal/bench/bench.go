@@ -50,6 +50,16 @@ type Config struct {
 	// ServeJSON, when nonempty, is where the serving experiment writes its
 	// BENCH_serve.json measurement artifact.
 	ServeJSON string
+	// HotpathJSON, when nonempty, is where the hotpath experiment writes its
+	// BENCH_hotpath.json measurement artifact.
+	HotpathJSON string
+	// GateJSON, when nonempty, makes the hotpath experiment compare its fresh
+	// measurements against the artifact at this path and fail on regression —
+	// the make bench-gate mode.
+	GateJSON string
+	// GateThreshold is the allowed ns/op ratio over the gate baseline
+	// (0 = the default, generous enough for noisy 1-core CI hosts).
+	GateThreshold float64
 }
 
 func (c Config) n() int {
@@ -64,6 +74,13 @@ func (c Config) maxN() int {
 		return workload.DefaultN
 	}
 	return c.MaxN
+}
+
+func (c Config) gateThreshold() float64 {
+	if c.GateThreshold <= 0 {
+		return 1.6
+	}
+	return c.GateThreshold
 }
 
 func (c Config) out() io.Writer {
@@ -85,7 +102,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -130,6 +147,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = CacheServing(cfg)
 	case "serve":
 		err = ServeLoad(cfg)
+	case "hotpath":
+		err = Hotpath(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile is the -cpuprofile/-memprofile plumbing shared by cmd/blitzsplit
+// and cmd/blitzbench: register the flags on the command's FlagSet, Start
+// after parsing, and Stop (usually deferred) before exit. The zero value is
+// ready to use; with both paths empty, Start and Stop are no-ops.
+type Profile struct {
+	// CPUPath and MemPath are the output files, set by the registered flags
+	// (or directly by tests).
+	CPUPath string
+	MemPath string
+
+	cpu *os.File
+}
+
+// RegisterFlags installs the -cpuprofile and -memprofile flags on fs.
+func (p *Profile) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUPath, "cpuprofile", "", "write a CPU profile to `file` (inspect with go tool pprof)")
+	fs.StringVar(&p.MemPath, "memprofile", "", "write an allocation profile to `file` on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given.
+func (p *Profile) Start() error {
+	if p.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPUPath)
+	if err != nil {
+		return fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	p.cpu = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the allocation profile, whichever
+// were requested. Safe to call when Start was never called or failed.
+func (p *Profile) Stop() error {
+	var firstErr error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bench: cpu profile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.MemPath != "" {
+		f, err := os.Create(p.MemPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("bench: mem profile: %w", err)
+			}
+			return firstErr
+		}
+		// An up-to-date allocation profile needs the latest heap state; the
+		// "allocs" profile includes cumulative allocation sites, which is
+		// what alloc hunting wants (the "heap" view is derivable from it in
+		// pprof).
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bench: mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bench: mem profile: %w", err)
+		}
+	}
+	return firstErr
+}

@@ -98,190 +98,24 @@ func (c *Canonical) Query() core.Query {
 	return cq
 }
 
-// Canonicalize computes the canonical relabeling and fingerprint of q.
+// Canonicalize computes the canonical relabeling and fingerprint of q with a
+// fresh Canonicalizer. Callers canonicalizing streams of queries (the
+// engine's serve path) should pool a Canonicalizer instead: its scratch makes
+// repeat canonicalizations allocation-free.
 func Canonicalize(q core.Query, opts Options) (*Canonical, error) {
-	if q.Estimator != nil {
-		return nil, ErrEstimator
-	}
-	if err := q.Validate(); err != nil {
+	var c Canonicalizer
+	if err := c.Canonicalize(q, opts); err != nil {
 		return nil, err
 	}
-	n := len(q.Cards)
-
-	// Normalized vertex and edge labels. −0 is folded into +0 so the two
-	// (semantically identical) cardinalities serialize identically.
-	cardBits := make([]uint64, n)
-	for i, c := range q.Cards {
-		cardBits[i] = math.Float64bits(c + 0)
-	}
-	type neighbor struct {
-		j   int
-		sel uint64
-	}
-	adj := make([][]neighbor, n)
-	var edges []joingraph.Edge
-	if q.Graph != nil {
-		edges = q.Graph.Edges()
-		for i := range edges {
-			edges[i].Selectivity = Quantize(edges[i].Selectivity, opts.SelectivityQuantum)
-			bits := math.Float64bits(edges[i].Selectivity)
-			e := edges[i]
-			adj[e.A] = append(adj[e.A], neighbor{j: e.B, sel: bits})
-			adj[e.B] = append(adj[e.B], neighbor{j: e.A, sel: bits})
-		}
-	}
-
-	// Color refinement: initial colors rank (cardinality, individualization
-	// mark); each round appends the sorted multiset of (neighbor color,
-	// selectivity) signatures and re-ranks. Every key is built from labels
-	// and colors only — never from relation indexes — so the refinement is
-	// invariant under relabeling of the input.
-	prio := make([]int, n)
-	colors := make([]int, n)
-	keys := make([]string, n)
-	idx := make([]int, n)
-	refine := func() int {
-		// Initial colors rank (cardinality bits, individualization mark)
-		// numerically — no serialization needed. When every cardinality is
-		// distinct (the common case) this single sort settles the whole
-		// refinement and the string-keyed rounds below never run.
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			ia, ib := idx[a], idx[b]
-			if cardBits[ia] != cardBits[ib] {
-				return cardBits[ia] < cardBits[ib]
-			}
-			return prio[ia] < prio[ib]
-		})
-		d := 0
-		for r, i := range idx {
-			if r > 0 {
-				p := idx[r-1]
-				if cardBits[i] != cardBits[p] || prio[i] != prio[p] {
-					d++
-				}
-			}
-			colors[i] = d
-		}
-		distinct := d + 1
-		for distinct < n {
-			for i := range keys {
-				b := binary.AppendUvarint(nil, uint64(colors[i]))
-				sig := make([]string, 0, len(adj[i]))
-				for _, nb := range adj[i] {
-					s := binary.AppendUvarint(nil, uint64(colors[nb.j]))
-					s = binary.LittleEndian.AppendUint64(s, nb.sel)
-					sig = append(sig, string(s))
-				}
-				sort.Strings(sig)
-				for _, s := range sig {
-					b = append(b, s...)
-				}
-				keys[i] = string(b)
-			}
-			d := recolor(colors, keys)
-			if d == distinct {
-				break // stable partition; no further splitting possible
-			}
-			distinct = d
-		}
-		return distinct
-	}
-
-	distinct := refine()
-	exact := distinct == n
-	// Individualization: while ties remain, distinguish one member of the
-	// smallest tied color class and re-refine. Each round strictly increases
-	// the number of classes, so this terminates within n rounds. If the tied
-	// relations are automorphic the choice cannot affect the canonical form;
-	// if not, Exact=false flags that relabelings may diverge (a cache miss,
-	// never an aliasing).
-	for mark := 1; distinct < n; mark++ {
-		counts := make([]int, distinct)
-		for _, c := range colors {
-			counts[c]++
-		}
-		tied := -1
-		for c, k := range counts {
-			if k > 1 {
-				tied = c
-				break
-			}
-		}
-		for i, c := range colors {
-			if c == tied {
-				prio[i] = mark
-				break
-			}
-		}
-		distinct = refine()
-	}
-
-	toCanon := make([]int, n)
-	toOrig := make([]int, n)
-	copy(toCanon, colors)
-	for i, c := range toCanon {
-		toOrig[c] = i
-	}
-
-	canonCards := make([]float64, n)
-	for i := range q.Cards {
-		canonCards[toCanon[i]] = math.Float64frombits(cardBits[i])
-	}
-	// Relabel the edge list in place (it is already a copy) and restore the
-	// A < B normalization and (A, B) order the graph would impose, so the
-	// fingerprint can serialize it without building a graph.
-	for i := range edges {
-		a, b := toCanon[edges[i].A], toCanon[edges[i].B]
-		if a > b {
-			a, b = b, a
-		}
-		edges[i].A, edges[i].B = a, b
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].A != edges[j].A {
-			return edges[i].A < edges[j].A
-		}
-		return edges[i].B < edges[j].B
-	})
-
-	return &Canonical{
-		ToCanon:     toCanon,
-		ToOrig:      toOrig,
-		Fingerprint: fingerprint(canonCards, edges, q.Graph != nil),
-		Exact:       exact,
-		cards:       canonCards,
-		edges:       edges,
-		hasGraph:    q.Graph != nil,
-	}, nil
+	return c.Canonical(), nil
 }
 
-// recolor assigns each index the rank of its key among the sorted distinct
-// keys and returns the number of distinct keys.
-func recolor(colors []int, keys []string) int {
-	idx := make([]int, len(keys))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
-	d := 0
-	for r, i := range idx {
-		if r > 0 && keys[i] != keys[idx[r-1]] {
-			d++
-		}
-		colors[i] = d
-	}
-	return d + 1
-}
-
-// fingerprint serializes the canonical query byte-exactly: a version tag, the
-// relation count, every cardinality's IEEE bits in canonical order, and the
-// sorted (a, b, selectivity-bits) edge list. Uvarints are self-delimiting and
-// the float fields are fixed-width, so the encoding is injective.
-func fingerprint(cards []float64, edges []joingraph.Edge, hasGraph bool) string {
-	b := make([]byte, 0, 8+10*len(cards)+20*len(edges))
+// appendFingerprint serializes the canonical query byte-exactly into dst: a
+// version tag, the relation count, every cardinality's IEEE bits in canonical
+// order, and the sorted (a, b, selectivity-bits) edge list. Uvarints are
+// self-delimiting and the float fields are fixed-width, so the encoding is
+// injective.
+func appendFingerprint(b []byte, cards []float64, edges []joingraph.Edge, hasGraph bool) []byte {
 	b = append(b, "bzfp1\x00"...)
 	b = binary.AppendUvarint(b, uint64(len(cards)))
 	for _, c := range cards {
@@ -289,7 +123,7 @@ func fingerprint(cards []float64, edges []joingraph.Edge, hasGraph bool) string 
 	}
 	if !hasGraph {
 		b = append(b, 'P') // pure Cartesian product
-		return string(b)
+		return b
 	}
 	b = append(b, 'G')
 	b = binary.AppendUvarint(b, uint64(len(edges)))
@@ -298,7 +132,7 @@ func fingerprint(cards []float64, edges []joingraph.Edge, hasGraph bool) string 
 		b = binary.AppendUvarint(b, uint64(e.B))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Selectivity))
 	}
-	return string(b)
+	return b
 }
 
 // Quantize rounds a selectivity to the nearest multiple of quantum in log2
@@ -348,20 +182,44 @@ func FoldSelectivities(sels []float64) float64 {
 // Cardinalities, costs and algorithm annotations are copied bitwise: a
 // relabeling permutes leaves, it does not change any estimate. The input is
 // never mutated, so cached canonical plans can be relabeled concurrently.
+//
+// All copied nodes come from a single slab allocation sized by one counting
+// pass: relabeling a served plan costs one allocation instead of one per
+// node. The slab is freshly allocated each call — the plan escapes to the
+// caller as part of a Result, so the buffer cannot be pooled.
 func RelabelPlan(p *plan.Node, m []int) *plan.Node {
 	if p == nil {
 		return nil
 	}
-	cp := *p
+	r := relabeler{slab: make([]plan.Node, 0, countNodes(p)), m: m}
+	return r.copy(p)
+}
+
+func countNodes(p *plan.Node) int {
+	if p == nil {
+		return 0
+	}
+	return 1 + countNodes(p.Left) + countNodes(p.Right)
+}
+
+type relabeler struct {
+	slab []plan.Node
+	m    []int
+}
+
+func (r *relabeler) copy(p *plan.Node) *plan.Node {
+	r.slab = append(r.slab, *p) // within the counted capacity: never reallocates
+	cp := &r.slab[len(r.slab)-1]
 	var s bitset.Set
-	p.Set.ForEach(func(i int) { s = s.Add(m[i]) })
+	p.Set.ForEach(func(i int) { s = s.Add(r.m[i]) })
 	cp.Set = s
 	if p.IsLeaf() {
-		cp.Rel = m[p.Rel]
+		cp.Rel = r.m[p.Rel]
+		return cp
 	}
-	cp.Left = RelabelPlan(p.Left, m)
-	cp.Right = RelabelPlan(p.Right, m)
-	return &cp
+	cp.Left = r.copy(p.Left)
+	cp.Right = r.copy(p.Right)
+	return cp
 }
 
 // mustValidPerm is a debug guard shared by tests.

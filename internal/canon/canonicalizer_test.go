@@ -1,0 +1,177 @@
+package canon
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/joingraph"
+)
+
+// randomTestQuery builds a random query mixing the conditions that exercise
+// every Canonicalizer path: duplicated cardinalities (forcing string-keyed WL
+// rounds and possibly individualization), random edge sets (including none —
+// the pure-Cartesian fingerprint form), and varied sizes.
+func randomTestQuery(rng *rand.Rand) core.Query {
+	n := 2 + rng.Intn(7)
+	cards := make([]float64, n)
+	base := []float64{10, 100, 1000, 1e4}
+	for i := range cards {
+		cards[i] = base[rng.Intn(len(base))] // collisions on purpose
+	}
+	var g *joingraph.Graph
+	if rng.Intn(4) > 0 {
+		g = joingraph.New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Intn(3) == 0 {
+					g.MustAddEdge(a, b, []float64{0.5, 0.1, 0.01}[rng.Intn(3)])
+				}
+			}
+		}
+		if len(g.Edges()) == 0 {
+			g = nil
+		}
+	}
+	return core.Query{Cards: cards, Graph: g}
+}
+
+// A reused Canonicalizer must behave exactly like a fresh one on every call:
+// no state may leak across queries through the recycled scratch.
+func TestCanonicalizerReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var reused Canonicalizer
+	for i := 0; i < 200; i++ {
+		q := randomTestQuery(rng)
+		if err := reused.Canonicalize(q, Options{}); err != nil {
+			t.Fatalf("query %d: reused: %v", i, err)
+		}
+		var fresh Canonicalizer
+		if err := fresh.Canonicalize(q, Options{}); err != nil {
+			t.Fatalf("query %d: fresh: %v", i, err)
+		}
+		if !bytes.Equal(reused.Fingerprint(), fresh.Fingerprint()) {
+			t.Fatalf("query %d: reused fingerprint %x ≠ fresh %x", i, reused.Fingerprint(), fresh.Fingerprint())
+		}
+		if reused.Exact() != fresh.Exact() {
+			t.Fatalf("query %d: exact flag diverged", i)
+		}
+		ro, fo := reused.ToOrig(), fresh.ToOrig()
+		if len(ro) != len(fo) {
+			t.Fatalf("query %d: ToOrig lengths diverged", i)
+		}
+		for j := range ro {
+			if ro[j] != fo[j] {
+				t.Fatalf("query %d: ToOrig[%d] = %d ≠ %d", i, j, ro[j], fo[j])
+			}
+		}
+		// The package-level entry point is a thin wrapper; keep it honest too.
+		cn, err := Canonicalize(q, Options{})
+		if err != nil {
+			t.Fatalf("query %d: package Canonicalize: %v", i, err)
+		}
+		if string(cn.Fingerprint) != string(reused.Fingerprint()) {
+			t.Fatalf("query %d: package fingerprint diverged", i)
+		}
+	}
+}
+
+// Canonical() must materialize copies that survive the next Canonicalize
+// call, while the accessors are documented to alias scratch.
+func TestCanonicalMaterializesPersistentCopies(t *testing.T) {
+	q1 := chainQuery([]float64{10, 200, 3000}, []float64{0.1, 0.01})
+	q2 := core.Query{Cards: []float64{5, 5, 5, 5}}
+	var c Canonicalizer
+	if err := c.Canonicalize(q1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cn := c.Canonical()
+	fp1 := append([]byte(nil), c.Fingerprint()...)
+	if err := c.Canonicalize(q2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cn.Fingerprint != string(fp1) {
+		t.Error("Canonical().Fingerprint was clobbered by the next Canonicalize call")
+	}
+	if bytes.Equal(c.Fingerprint(), fp1) {
+		t.Error("distinct queries produced one fingerprint — scratch not rewritten?")
+	}
+	if len(cn.ToOrig) != 3 || len(cn.Query().Cards) != 3 {
+		t.Errorf("materialized canonical lost its shape: %d relations", len(cn.ToOrig))
+	}
+}
+
+// The serve path's per-hit budget: canonicalizing a query whose cardinalities
+// are pairwise distinct (numeric refinement only, no string-keyed tie rounds)
+// must not allocate at all once the scratch has grown to size.
+func TestCanonicalizerZeroAllocSteadyState(t *testing.T) {
+	n := 12
+	g := joingraph.New(n)
+	cards := make([]float64, n)
+	cards[0] = 1e6
+	for i := 1; i < n; i++ {
+		cards[i] = float64(1000 * i)
+		g.MustAddEdge(0, i, 1/float64(1000*i))
+	}
+	q := core.Query{Cards: cards, Graph: g}
+	var c Canonicalizer
+	if err := c.Canonicalize(q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Canonicalize(q, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Canonicalize allocated %v times per run, want 0", allocs)
+	}
+}
+
+// Distinct Canonicalizers racing over the same inputs must agree byte-for-byte
+// — the package has no hidden shared state. (The pooled-instance race on a
+// shared Engine is covered by TestEngineCanonicalizerStress.)
+func TestCanonicalizerConcurrentStress(t *testing.T) {
+	queries := make([]core.Query, 16)
+	rng := rand.New(rand.NewSource(23))
+	for i := range queries {
+		queries[i] = randomTestQuery(rng)
+	}
+	want := make([][]byte, len(queries))
+	var ref Canonicalizer
+	for i, q := range queries {
+		if err := ref.Canonicalize(q, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]byte(nil), ref.Fingerprint()...)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var c Canonicalizer
+			for rep := 0; rep < 50; rep++ {
+				i := (rep + w) % len(queries)
+				if err := c.Canonicalize(queries[i], Options{}); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(c.Fingerprint(), want[i]) {
+					errs <- fmt.Errorf("worker %d query %d: fingerprint %x ≠ %x", w, i, c.Fingerprint(), want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -145,14 +145,11 @@ func (a *Arena) Stats() ArenaStats {
 }
 
 // sizeClass returns the largest relation count this table's always-present
-// columns (card, cost, bestLHS) can serve without reallocating, or −1 for a
-// table with no backing storage.
+// columns (card and the interleaved cost/bestLHS slots) can serve without
+// reallocating, or −1 for a table with no backing storage.
 func (t *Table) sizeClass() int {
 	m := cap(t.card)
-	if c := cap(t.cost); c < m {
-		m = c
-	}
-	if c := cap(t.bestLHS); c < m {
+	if c := cap(t.slot); c < m {
 		m = c
 	}
 	if m == 0 {

@@ -67,16 +67,17 @@ func (e *BudgetError) Unwrap() []error {
 
 // TableFootprint returns the exact backing-array footprint, in bytes, of the
 // DP table a query with n relations needs: the 2^n-element cardinality
-// (8 B), cost (8 B) and best-split (4 B) columns, plus the fan column (8 B)
-// when the query has a join graph and the memo column (8 B) when the cost
-// model memoizes per-set values. Scratch (chunk starts, per-worker counters)
-// is a few cache lines and is not counted. Admission control compares this
-// against Options.MemoryBudget before anything is allocated.
+// column (8 B) and the interleaved cost/best-split slot column (16 B), plus
+// the fan column (8 B) when the query has a join graph and the memo column
+// (8 B) when the cost model memoizes per-set values. Scratch (chunk starts,
+// per-worker counters) is a few cache lines and is not counted. Admission
+// control compares this against Options.MemoryBudget before anything is
+// allocated.
 func TableFootprint(n int, hasGraph bool, model cost.Model) uint64 {
 	if model == nil {
 		model = cost.Naive{}
 	}
-	per := uint64(8 + 8 + 4) // card + cost + bestLHS
+	per := uint64(8 + 16) // card + (cost, bestLHS) slot
 	if hasGraph {
 		per += 8 // fan
 	}

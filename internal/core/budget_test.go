@@ -25,8 +25,8 @@ func budgetChainQuery(n int) Query {
 }
 
 // TestTableFootprintExact pins the admission formula to the table layout:
-// card+cost+bestLHS always, fan only with a graph, memo only for memoizing
-// models.
+// card plus the 16-byte (cost, bestLHS) slot always, fan only with a graph,
+// memo only for memoizing models.
 func TestTableFootprintExact(t *testing.T) {
 	cases := []struct {
 		n        int
@@ -34,13 +34,13 @@ func TestTableFootprintExact(t *testing.T) {
 		model    cost.Model
 		want     uint64
 	}{
-		{10, false, cost.Naive{}, 20 << 10},     // card + cost + bestLHS
-		{10, true, cost.Naive{}, 28 << 10},      // + fan
-		{10, true, cost.SortMerge{}, 36 << 10},  // + memo (κsm memoizes)
-		{10, false, cost.SortMerge{}, 28 << 10}, // memo without fan
-		{10, false, nil, 20 << 10},              // nil model defaults to naive
-		{1, false, cost.Naive{}, 40},
-		{22, true, cost.SortMerge{}, 36 << 22},
+		{10, false, cost.Naive{}, 24 << 10},     // card + (cost, bestLHS) slot
+		{10, true, cost.Naive{}, 32 << 10},      // + fan
+		{10, true, cost.SortMerge{}, 40 << 10},  // + memo (κsm memoizes)
+		{10, false, cost.SortMerge{}, 32 << 10}, // memo without fan
+		{10, false, nil, 24 << 10},              // nil model defaults to naive
+		{1, false, cost.Naive{}, 48},
+		{22, true, cost.SortMerge{}, 40 << 22},
 	}
 	for _, c := range cases {
 		if got := TableFootprint(c.n, c.hasGraph, c.model); got != c.want {

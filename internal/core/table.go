@@ -11,6 +11,26 @@ import (
 	"blitzsplit/internal/plan"
 )
 
+// Slot is one optimization-pass entry of the DP table: the best plan cost
+// found for a subset and the left operand of its best split, interleaved
+// into a single 16-byte struct. The 3^n split loop reads cost[lhs] and
+// cost[rhs] and finally writes (cost, bestLHS) of the enclosing set; with
+// parallel columns the write touches two cache lines and the two columns
+// compete for the same sets' lines across the scan. Interleaving puts each
+// subset's whole optimization state on one line — the paper's §4.1 16-byte
+// entry target (float cost, solution pointer, and padding).
+type Slot struct {
+	// Cost is the best plan cost found for the subset in the current pass;
+	// +Inf when none exists under the active threshold.
+	Cost float64
+	// BestLHS is the left operand of the subset's best split; 0 for
+	// singletons and for subsets with no plan. n ≤ 30 keeps it in a uint32.
+	BestLHS uint32
+	// Padding keeps the entry at 16 bytes so slots never straddle cache
+	// lines and &slot[s] is a shift, not a multiply.
+	_ uint32
+}
+
 // Table is the blitzsplit dynamic-programming table: one entry per nonempty
 // subset of the relation set, indexed by the subset's integer value (§4.1).
 // Properties (cardinality, fan product, cost-model memo) are filled once per
@@ -34,12 +54,11 @@ type Table struct {
 	// memo[s] caches the model's per-set value (e.g. sort-merge's
 	// |R|(1+log|R|), per the Appendix); meaningful only when memoized ≠ nil.
 	memo []float64
-	// cost[s] is the best plan cost found for s in the current pass; +Inf
-	// when none exists under the active threshold.
-	cost []float64
-	// bestLHS[s] is the left operand of the best split of s; 0 when s is a
-	// singleton or no plan was found. Stored as uint32: n ≤ 30.
-	bestLHS []uint32
+	// slot[s] interleaves the optimization-pass-hot pair — best cost and
+	// best split of s — into one 16-byte entry (see Slot). The property
+	// columns above stay separate: they are written once per query and the
+	// split loop reads card only outside the nested-if fast path.
+	slot []Slot
 
 	// Parallel-fill scratch, retained across layers and passes so the
 	// steady-state schedule performs no allocation: chunk start points for
@@ -82,8 +101,7 @@ func (t *Table) Reset(n int, hasGraph bool, model cost.Model) {
 	t.naive = false
 	t.hasFan = hasGraph
 	t.card = growFloats(t.card, size)
-	t.cost = growFloats(t.cost, size)
-	t.bestLHS = growUint32s(t.bestLHS, size)
+	t.slot = growSlots(t.slot, size)
 	if hasGraph {
 		t.fan = growFloats(t.fan, size)
 	}
@@ -106,11 +124,11 @@ func growFloats(s []float64, size int) []float64 {
 	return make([]float64, size)
 }
 
-func growUint32s(s []uint32, size int) []uint32 {
+func growSlots(s []Slot, size int) []Slot {
 	if cap(s) >= size {
 		return s[:size]
 	}
-	return make([]uint32, size)
+	return make([]Slot, size)
 }
 
 // RetainedBytes returns the bytes pinned by the table's backing columns and
@@ -118,24 +136,24 @@ func growUint32s(s []uint32, size int) []uint32 {
 // current logical length). The arena meters its pooled-byte budget with this.
 func (t *Table) RetainedBytes() uint64 {
 	const workerBytes = uint64(unsafe.Sizeof(paddedCounters{}))
+	const slotBytes = uint64(unsafe.Sizeof(Slot{}))
 	return uint64(cap(t.card))*8 +
 		uint64(cap(t.fan))*8 +
 		uint64(cap(t.memo))*8 +
-		uint64(cap(t.cost))*8 +
-		uint64(cap(t.bestLHS))*4 +
+		uint64(cap(t.slot))*slotBytes +
 		uint64(cap(t.chunks))*8 +
 		uint64(cap(t.workers))*workerBytes
 }
 
 // ScratchColumns reconfigures the table for an n-relation dynamic program
-// with no fan or memo columns and hands out its three core columns for direct
-// use — the bounded-DP scratch hybrid.IDP runs on. The columns stay owned by
-// the table: callers borrow them until the table is Put back to its arena,
-// and the usual Reset contract applies (stale contents are never read because
-// the DP writes every entry before reading it).
-func (t *Table) ScratchColumns(n int) (card, planCost []float64, bestLHS []uint32) {
+// with no fan or memo columns and hands out its core columns for direct use —
+// the bounded-DP scratch hybrid.IDP runs on. The columns stay owned by the
+// table: callers borrow them until the table is Put back to its arena, and
+// the usual Reset contract applies (stale contents are never read because the
+// DP writes every entry before reading it).
+func (t *Table) ScratchColumns(n int) (card []float64, slots []Slot) {
 	t.Reset(n, false, nil)
-	return t.card, t.cost, t.bestLHS
+	return t.card, t.slot
 }
 
 // N returns the number of relations.
@@ -153,11 +171,11 @@ func (t *Table) Fan(s bitset.Set) float64 {
 }
 
 // Cost returns the best plan cost found for s (+Inf if none).
-func (t *Table) Cost(s bitset.Set) float64 { return t.cost[s] }
+func (t *Table) Cost(s bitset.Set) float64 { return t.slot[s].Cost }
 
 // BestLHS returns the left operand of the best split of s (empty for
 // singletons and for sets with no plan).
-func (t *Table) BestLHS(s bitset.Set) bitset.Set { return bitset.Set(t.bestLHS[s]) }
+func (t *Table) BestLHS(s bitset.Set) bitset.Set { return bitset.Set(t.slot[s].BestLHS) }
 
 // InitProperties fills the cardinality, fan and memo columns for every
 // subset — the revised compute_properties of §5.4. Each non-singleton set
@@ -278,8 +296,8 @@ func (t *Table) initProperty(q Query, s bitset.Set) {
 // fillCostsLayered); both schedules produce bit-identical cost/bestLHS
 // columns and equal counter totals, because each set's best split depends
 // only on strictly-smaller-popcount sets and findBestSplit's tie-breaking is
-// deterministic (fixed ascending enumeration, strict improvement — the
-// lowest competitive LHS wins regardless of schedule).
+// deterministic (the lowest LHS among minimum-cost splits wins regardless of
+// schedule or enumeration order).
 func (t *Table) FillCosts(q Query, opts Options, threshold float64) Counters {
 	c, _ := t.fillCosts(q, opts, threshold, nil) // unbudgeted: cannot fail
 	return c
@@ -294,9 +312,7 @@ func (t *Table) fillCosts(q Query, opts Options, threshold float64, bg *budget) 
 		return Counters{}, bg.exceeded(PhaseFill)
 	}
 	for i := 0; i < t.n; i++ {
-		s := bitset.Single(i)
-		t.cost[s] = 0
-		t.bestLHS[s] = 0
+		t.slot[bitset.Single(i)] = Slot{}
 	}
 	if w := opts.workers(); w > 0 {
 		return t.fillCostsLayered(opts, threshold, w, bg)
@@ -416,13 +432,14 @@ func (t *Table) runLayer(k, workers int, work func(w int, start bitset.Set, coun
 // the overflow short-circuit of §6.3 that §6.4 generalizes into explicit
 // plan-cost thresholds.
 //
-// Tie-breaking is deterministic and schedule-independent: each mode
-// enumerates splits in a fixed order and replaces the incumbent only on
-// strict improvement, so among equal-cost splits the first-enumerated one
-// wins — for the default bushy mode that is the lowest LHS set value (the
-// §4.2 successor visits subsets in ascending contracted value, and dilation
-// preserves numeric order). The serial and layer-parallel fills therefore
-// choose identical plans, not merely equal-cost ones.
+// Tie-breaking is deterministic and schedule-independent: among equal-cost
+// splits the numerically lowest LHS set wins. The historical ascending §4.2
+// scan produced that winner implicitly (first strict improvement in
+// ascending order); the pair-at-a-time loops below produce it explicitly via
+// strict prunes plus a smaller-LHS rule on exact cost ties, so the result is
+// bit-identical to the ascending scan in every mode. The serial and
+// layer-parallel fills therefore choose identical plans, not merely
+// equal-cost ones.
 func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *Counters) {
 	outCard := t.card[s]
 	kp := t.model.SplitIndep(outCard)
@@ -432,8 +449,7 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 	// overflowed even float64), or NaN.
 	if kp > threshold || math.IsInf(kp, 1) || math.IsNaN(kp) {
 		c.ThresholdSkips++
-		t.cost[s] = math.Inf(1)
-		t.bestLHS[s] = 0
+		t.slot[s] = Slot{Cost: math.Inf(1)}
 		return
 	}
 
@@ -442,12 +458,27 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 	// over-threshold plans inside the loop for free.
 	best := threshold - kp
 	bestLHS := bitset.Empty
-	costs := t.cost
+	slots := t.slot
+	// mask reproves every probe index in-bounds via x&(len−1) ≤ len−1, which
+	// the compiler's prover accepts — the two loads per split iteration are
+	// the hottest instructions in the whole optimizer, so their bounds checks
+	// are worth deleting. Semantically a no-op: every lhs/rhs is a submask of
+	// s < len(slots), and len is 2^n for a live table.
+	mask := bitset.Set(len(slots)) - 1
+	_ = slots[s] // len(slots) > s: lets the prover drop both loop probes' checks
 
-	var iters, kppEvals, condHits uint64
+	// The §4.2 successor enumeration is unconditional — nested ifs skip
+	// cost work, never iterations — so the loop trip count is a function of
+	// |s| alone: 2^|s|−2 proper bipartitions (|s| base-relation splits in
+	// left-deep mode). Counting analytically keeps the counters exact while
+	// freeing a loop-carried register in the scan.
+	k := s.Count()
+	iters := uint64(1)<<uint(k) - 2
+	var kppEvals, condHits uint64
 
 	switch {
 	case opts.LeftDeep:
+		iters = uint64(k)
 		// Left-deep restriction (§6.2): the right operand must be a base
 		// relation, so only |s| splits are considered. The ablation flags do
 		// not apply in this mode.
@@ -457,8 +488,7 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 			if lhs == 0 {
 				continue
 			}
-			iters++
-			lc := costs[lhs] // rhs is a base relation: cost 0
+			lc := slots[lhs&mask].Cost // rhs is a base relation: cost 0
 			if lc >= best {
 				continue
 			}
@@ -483,9 +513,8 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 			lhs = s.DescendSubset(s)
 		}
 		for ; lhs != s && lhs != 0; lhs = next(lhs) {
-			iters++
 			rhs := s ^ lhs
-			lc, rc := costs[lhs], costs[rhs]
+			lc, rc := slots[lhs&mask].Cost, slots[rhs&mask].Cost
 			if !opts.DisableNestedIfs && (lc >= best || rc >= best || lc+rc >= best) {
 				continue
 			}
@@ -501,34 +530,90 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 			}
 		}
 
+	case t.naive:
+		// κ″ ≡ 0: a split's cost is lc + rc, identical for both orientations
+		// of a bipartition — so enumerate each unordered pair once (submasks
+		// containing the lowest bit of s) and charge both orientations from
+		// one pair of loads. Halving the probe traffic is what keeps the
+		// 16-byte interleaved entries as cheap to scan as the old split
+		// cost column; the pair loop is the purest form of the §4.2 scan and
+		// the loop Figure 2 times. Ties resolve to the numerically smaller
+		// side, which is exactly the split the ascending first-win
+		// enumeration would have kept — plans stay bit-identical.
+		low := s & -s
+		rest := s ^ low
+		for sub := bitset.Set(0); ; sub = (sub - rest) & rest {
+			lhs := sub | low
+			if lhs == s {
+				break
+			}
+			rhs := s ^ lhs
+			lc := slots[lhs&mask].Cost
+			rc := slots[rhs&mask].Cost
+			if o := lc + rc; o <= best {
+				win := lhs
+				if rhs < lhs {
+					win = rhs
+				}
+				if o < best {
+					best = o
+					bestLHS = win
+					condHits++
+				} else if win < bestLHS {
+					bestLHS = win
+				}
+			}
+		}
+
 	default:
-		// The paper's enumeration: succ(L) = S & (L − S), starting at
-		// δ_S(1) = S & −S (§4.2), with the nested-if structure: each
-		// comparison below is predicated on the previous one succeeding,
-		// so κ″ is evaluated only for competitive splits.
-		for lhs := s & -s; lhs != s; lhs = s & (lhs - s) {
-			iters++
-			lc := costs[lhs]
-			if lc >= best {
+		// The paper's enumeration visits succ(L) = S & (L − S) from
+		// δ_S(1) = S & −S (§4.2) — every bipartition twice, loading the same
+		// two operand costs for each orientation. Enumerating unordered pairs
+		// (submasks containing the lowest bit of s) halves the probe traffic
+		// over the interleaved slot column while the nested-if structure
+		// still gates κ″ behind the operand-cost screens. Prunes are strict
+		// (>) so an exact tie with the incumbent is never discarded before
+		// the smaller-LHS rule can see it: the final (cost, bestLHS) is the
+		// minimum cost with the numerically smallest LHS among its achievers,
+		// which is precisely what the ascending first-win scan produces.
+		low := s & -s
+		rest := s ^ low
+		for sub := bitset.Set(0); ; sub = (sub - rest) & rest {
+			lhs := sub | low
+			if lhs == s {
+				break
+			}
+			rhs := s ^ lhs
+			lc := slots[lhs&mask].Cost
+			if lc > best {
 				continue
 			}
-			rc := costs[s^lhs]
-			if rc >= best {
+			rc := slots[rhs&mask].Cost
+			if rc > best {
 				continue
 			}
 			oprnd := lc + rc
-			if oprnd >= best {
+			if oprnd > best {
 				continue
 			}
-			dpnd := oprnd
-			if !t.naive {
-				kppEvals++
-				dpnd += t.splitDep(outCard, lhs, s^lhs)
-			}
-			if dpnd < best {
-				best = dpnd
+			kppEvals++
+			if d := oprnd + t.splitDep(outCard, lhs, rhs); d < best || (d == best && lhs < bestLHS) {
+				if d < best {
+					condHits++
+				}
+				best = d
 				bestLHS = lhs
-				condHits++
+			}
+			if oprnd > best {
+				continue
+			}
+			kppEvals++
+			if d := oprnd + t.splitDep(outCard, rhs, lhs); d < best || (d == best && rhs < bestLHS) {
+				if d < best {
+					condHits++
+				}
+				best = d
+				bestLHS = rhs
 			}
 		}
 	}
@@ -537,12 +622,10 @@ func (t *Table) findBestSplit(s bitset.Set, opts Options, threshold float64, c *
 	c.KppEvals += kppEvals
 	c.CondHits += condHits
 	if bestLHS == 0 {
-		t.cost[s] = math.Inf(1)
-		t.bestLHS[s] = 0
+		t.slot[s] = Slot{Cost: math.Inf(1)}
 		return
 	}
-	t.cost[s] = best + kp
-	t.bestLHS[s] = uint32(bestLHS)
+	t.slot[s] = Slot{Cost: best + kp, BestLHS: uint32(bestLHS)}
 }
 
 // splitDep computes κ″ for a split, using the memoized per-set values or the
@@ -570,7 +653,8 @@ func (t *Table) ExtractPlan(s bitset.Set) *plan.Node {
 	if s.IsSingleton() {
 		return plan.Leaf(s.Min(), t.card[s])
 	}
-	lhsSet := bitset.Set(t.bestLHS[s])
+	e := t.slot[s]
+	lhsSet := bitset.Set(e.BestLHS)
 	if lhsSet == 0 {
 		return nil
 	}
@@ -582,7 +666,7 @@ func (t *Table) ExtractPlan(s bitset.Set) *plan.Node {
 	return &plan.Node{
 		Set:   s,
 		Card:  t.card[s],
-		Cost:  t.cost[s],
+		Cost:  e.Cost,
 		Left:  left,
 		Right: right,
 	}

@@ -214,13 +214,13 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 // Capacities only shrink as IDP collapses units, so after round one the DP
 // runs allocation-free.
 type dpScratch struct {
-	// tbl, when non-nil, backs card/cost/lhs with an arena-pooled core.Table
+	// tbl, when non-nil, backs card/slots with an arena-pooled core.Table
 	// (via ScratchColumns) instead of private slices.
-	tbl        *core.Table
-	card, cost []float64
-	lhs        []uint32
-	sel        [][]float64
-	bySize     [][]bitset.Set
+	tbl    *core.Table
+	card   []float64
+	slots  []core.Slot
+	sel    [][]float64
+	bySize [][]bitset.Set
 }
 
 // resize readies the scratch for u units and the given block, reusing
@@ -229,18 +229,18 @@ type dpScratch struct {
 // written first (singletons here, larger subsets in ascending-size order).
 func (sc *dpScratch) resize(u, block int) {
 	if sc.tbl != nil {
-		sc.card, sc.cost, sc.lhs = sc.tbl.ScratchColumns(u)
+		sc.card, sc.slots = sc.tbl.ScratchColumns(u)
 	} else {
 		size := 1 << uint(u)
 		if cap(sc.card) >= size {
-			sc.card, sc.cost = sc.card[:size], sc.cost[:size]
+			sc.card = sc.card[:size]
 		} else {
-			sc.card, sc.cost = make([]float64, size), make([]float64, size)
+			sc.card = make([]float64, size)
 		}
-		if cap(sc.lhs) >= size {
-			sc.lhs = sc.lhs[:size]
+		if cap(sc.slots) >= size {
+			sc.slots = sc.slots[:size]
 		} else {
-			sc.lhs = make([]uint32, size)
+			sc.slots = make([]core.Slot, size)
 		}
 	}
 	if cap(sc.sel) >= u {
@@ -287,15 +287,15 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 		}
 	}
 	// Dense per-subset arrays keyed by the unit-index bitset. 2^u entries at
-	// 20 bytes each caps usable u well inside bitset.MaxRelations; IDP's
-	// block collapsing shrinks u every round, so only the first rounds pay.
+	// 24 bytes each (card + interleaved cost/lhs slot) caps usable u well
+	// inside bitset.MaxRelations; IDP's block collapsing shrinks u every
+	// round, so only the first rounds pay.
 	cardT := sc.card
-	costT := sc.cost
-	lhsT := sc.lhs
+	slotT := sc.slots
 	for i := range units {
 		s := bitset.Single(i)
 		cardT[s] = units[i].card
-		costT[s] = units[i].cost
+		slotT[s] = core.Slot{Cost: units[i].cost}
 	}
 	var considered uint64
 	// Subsets by ascending size so halves always exist.
@@ -326,7 +326,7 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 			for l := s.MinSet(); l != s; l = s.NextSubset(l) {
 				considered++
 				r := s ^ l
-				lc, rc := costT[l], costT[r]
+				lc, rc := slotT[l].Cost, slotT[r].Cost
 				if lc+rc >= best {
 					continue
 				}
@@ -337,8 +337,7 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 				}
 			}
 			cardT[s] = card
-			costT[s] = best
-			lhsT[s] = uint32(bestLHS)
+			slotT[s] = core.Slot{Cost: best, BestLHS: uint32(bestLHS)}
 		}
 	}
 	// Choose the winning subset: the full set if covered, else the cheapest
@@ -350,9 +349,10 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 	} else {
 		bestCost, bestCard := math.Inf(1), math.Inf(1)
 		for _, s := range bySize[block] {
-			if costT[s] < bestCost || (costT[s] == bestCost && (cardT[s] < bestCard ||
+			c := slotT[s].Cost
+			if c < bestCost || (c == bestCost && (cardT[s] < bestCard ||
 				(cardT[s] == bestCard && s < winner))) {
-				winner, bestCost, bestCard = s, costT[s], cardT[s]
+				winner, bestCost, bestCard = s, c, cardT[s]
 			}
 		}
 	}
@@ -362,18 +362,18 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 		if s.IsSingleton() {
 			return units[s.Min()].tree
 		}
-		lhs := bitset.Set(lhsT[s])
+		lhs := bitset.Set(slotT[s].BestLHS)
 		left := build(lhs)
 		right := build(s ^ lhs)
 		return &plan.Node{
 			Set:  left.Set.Union(right.Set),
 			Card: cardT[s],
-			Cost: costT[s],
+			Cost: slotT[s].Cost,
 			Left: left, Right: right,
 		}
 	}
 	tree := build(winner)
-	return unit{tree: tree, card: cardT[winner], cost: costT[winner]}, considered, nil
+	return unit{tree: tree, card: cardT[winner], cost: slotT[winner].Cost}, considered, nil
 }
 
 // ChainedLocal is the paper's §7 hybrid: an IDP seed plan polished by

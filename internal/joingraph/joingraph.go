@@ -98,6 +98,12 @@ func (g *Graph) Selectivity(a, b int) float64 { return g.sel[a][b] }
 // HasEdge reports whether a predicate connects a and b.
 func (g *Graph) HasEdge(a, b int) bool { return a != b && g.adj[a].Has(b) }
 
+// AppendEdges appends the graph's edges to dst in insertion order and
+// returns the extended slice — the allocation-free counterpart of Edges for
+// callers that bring their own buffer. Unlike Edges the result is not
+// sorted; callers needing the canonical (A, B) order must sort themselves.
+func (g *Graph) AppendEdges(dst []Edge) []Edge { return append(dst, g.edges...) }
+
 // Edges returns a copy of the edge list, sorted by (A, B).
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))

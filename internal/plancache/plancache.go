@@ -100,8 +100,10 @@ func New(maxBytes uint64, shards int) *Cache {
 }
 
 // shardFor hashes the key (FNV-1a) to pick a shard. The hash decides
-// placement only — lookup inside the shard is exact string equality.
-func (c *Cache) shardFor(key string) *shard {
+// placement only — lookup inside the shard is exact string equality. Generic
+// over the two byte-sequence kinds so Get and GetBytes pick shards
+// identically.
+func shardFor[K ~string | ~[]byte](c *Cache, key K) *shard {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -116,10 +118,29 @@ func (c *Cache) shardFor(key string) *shard {
 
 // Get returns the entry stored under key, marking it most recently used.
 func (c *Cache) Get(key string) (Entry, bool) {
-	s := c.shardFor(key)
+	s := shardFor(c, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, ok := s.m[key]
+	if !ok {
+		s.misses++
+		return Entry{}, false
+	}
+	s.hits++
+	s.moveToFront(n)
+	return n.entry, true
+}
+
+// GetBytes is Get for a caller-owned byte-slice key. The map index uses the
+// compiler's zero-copy []byte→string conversion (the conversion must appear
+// literally in the index expression to qualify), so a lookup performs no
+// allocation and the caller can reuse the key buffer. The cache never
+// retains key.
+func (c *Cache) GetBytes(key []byte) (Entry, bool) {
+	s := shardFor(c, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.m[string(key)]
 	if !ok {
 		s.misses++
 		return Entry{}, false
@@ -135,7 +156,7 @@ func (c *Cache) Get(key string) (Entry, bool) {
 // whole shard for a single oversized plan.
 func (c *Cache) Put(key string, e Entry) {
 	size := entryBytes(key, e)
-	s := c.shardFor(key)
+	s := shardFor(c, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts++

@@ -199,3 +199,45 @@ func TestDistinctKeysNeverAlias(t *testing.T) {
 		}
 	}
 }
+
+// TestGetBytesMatchesGet proves the byte-key lookup is behaviorally identical
+// to the string one — same shard choice, same hit/miss outcomes, same LRU and
+// counter effects — and that a GetBytes hit performs zero allocations (the
+// engine's serve path builds its key in a reused buffer).
+func TestGetBytesMatchesGet(t *testing.T) {
+	c := New(0, 0)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%03d\x00opts", i)
+		c.Put(keys[i], Entry{Plan: leafPlan(float64(i)), Cost: float64(i)})
+	}
+	for i, k := range keys {
+		got, ok := c.GetBytes([]byte(k))
+		if !ok {
+			t.Fatalf("GetBytes(%q) missed a stored key", k)
+		}
+		if got.Cost != float64(i) {
+			t.Fatalf("GetBytes(%q) returned entry with cost %v, want %d", k, got.Cost, i)
+		}
+		ref, ok := c.Get(k)
+		if !ok || ref.Plan != got.Plan {
+			t.Fatalf("Get and GetBytes disagree for %q", k)
+		}
+	}
+	if _, ok := c.GetBytes([]byte("absent")); ok {
+		t.Fatal("GetBytes reported a hit for an absent key")
+	}
+	st := c.Snapshot()
+	if st.Hits != 128 || st.Misses != 1 {
+		t.Fatalf("counters after 128 hits, 1 miss: %+v", st)
+	}
+
+	key := []byte(keys[7])
+	if got := testing.AllocsPerRun(100, func() {
+		if _, ok := c.GetBytes(key); !ok {
+			t.Fatal("hit became a miss")
+		}
+	}); got != 0 {
+		t.Fatalf("GetBytes hit allocated %.0f times per op, want 0", got)
+	}
+}

@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +106,8 @@ type Server struct {
 	flights  flightGroup
 	draining atomic.Bool
 	met      *metrics
+	// canonPool recycles flightKey's canonicalizer scratch across requests.
+	canonPool sync.Pool
 }
 
 // New returns a server over cfg.Engine (or a fresh caching engine).
@@ -168,12 +172,22 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // InFlight returns the number of admitted optimizations currently running.
 func (s *Server) InFlight() int { return len(s.inflight) }
 
-// Handler returns the server's route table.
+// Handler returns the server's route table. The /debug/pprof/ endpoints
+// expose the runtime profiler on the same mux as the other debug routes, so
+// a production blitzd can be profiled in place:
+//
+//	go tool pprof http://host/debug/pprof/profile?seconds=30
+//	go tool pprof http://host/debug/pprof/heap
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
@@ -413,12 +427,20 @@ func (s *Server) decodeRequest(r *http.Request) (*OptimizeRequest, int, error) {
 // with every request option that changes which plan is produced. Identical
 // queries — and isomorphic ones under relabeling — share a key; the
 // fingerprint is exact (never a hash), so distinct queries never coalesce.
+// The canonicalizer comes from a pool so each request reuses refinement
+// scratch instead of re-allocating it.
 func (s *Server) flightKey(cq core.Query, req *OptimizeRequest) string {
-	cn, err := canon.Canonicalize(cq, canon.Options{SelectivityQuantum: s.quantum})
-	if err != nil {
+	c, _ := s.canonPool.Get().(*canon.Canonicalizer)
+	if c == nil {
+		c = new(canon.Canonicalizer)
+	}
+	if err := c.Canonicalize(cq, canon.Options{SelectivityQuantum: s.quantum}); err != nil {
+		s.canonPool.Put(c)
 		return ""
 	}
-	return cn.Fingerprint + "\x00" + req.Model + "\x00" + strconv.FormatBool(req.LeftDeep)
+	key := string(c.Fingerprint()) + "\x00" + req.Model + "\x00" + strconv.FormatBool(req.LeftDeep)
+	s.canonPool.Put(c)
+	return key
 }
 
 // admit takes an in-flight slot, waiting up to AdmissionWait (bounded also

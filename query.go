@@ -3,6 +3,7 @@ package blitzsplit
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"blitzsplit/internal/canon"
 	"blitzsplit/internal/catalog"
@@ -16,6 +17,21 @@ import (
 type Query struct {
 	cat   *catalog.Catalog
 	edges []edgeSpec
+	// memo caches build's product so repeated Optimize calls on an unchanged
+	// query — the serving hot path — skip graph construction and the catalog
+	// copies. Mutators clear it; the atomic makes concurrent Optimize calls
+	// on one query race-free (concurrent rebuilds compute equal values, and
+	// whichever Store wins is correct).
+	memo atomic.Pointer[queryMemo]
+}
+
+// queryMemo is one immutable build product. The core.Query and names inside
+// are shared by every Optimize call until the query is mutated; optimization
+// only reads them.
+type queryMemo struct {
+	cq    core.Query
+	names []string
+	err   error
 }
 
 type edgeSpec struct {
@@ -32,6 +48,9 @@ func NewQuery() *Query {
 // cardinality. Relations are ordered by insertion; at most 30 are supported.
 func (q *Query) AddRelation(name string, cardinality float64) error {
 	_, err := q.cat.Add(catalog.Relation{Name: name, Cardinality: cardinality})
+	if err == nil {
+		q.memo.Store(nil)
+	}
 	return err
 }
 
@@ -55,6 +74,7 @@ func (q *Query) Join(a, b string, selectivity float64) error {
 		return fmt.Errorf("blitzsplit: unknown relation %q", b)
 	}
 	q.edges = append(q.edges, edgeSpec{a: a, b: b, selectivity: selectivity})
+	q.memo.Store(nil)
 	return nil
 }
 
@@ -72,12 +92,32 @@ func (q *Query) NumRelations() int { return q.cat.Len() }
 // order used in Plan leaves.
 func (q *Query) RelationNames() []string { return q.cat.Names() }
 
-// build materializes the internal query representation. Repeated predicates
-// between one relation pair are a conjunction: their selectivities fold into
-// one edge factor deterministically (canon.FoldSelectivities multiplies in
-// sorted order), so the graph — which rejects duplicate edges outright —
-// sees each pair once and declaration order cannot change the result.
+// build materializes the internal query representation, memoized until the
+// next mutation. Repeated predicates between one relation pair are a
+// conjunction: their selectivities fold into one edge factor
+// deterministically (canon.FoldSelectivities multiplies in sorted order), so
+// the graph — which rejects duplicate edges outright — sees each pair once
+// and declaration order cannot change the result.
 func (q *Query) build() (core.Query, error) {
+	if m := q.memo.Load(); m != nil {
+		return m.cq, m.err
+	}
+	cq, err := q.buildUncached()
+	q.memo.Store(&queryMemo{cq: cq, names: q.cat.Names(), err: err})
+	return cq, err
+}
+
+// names returns the relation names for result assembly, shared from the memo
+// when one exists. Callers must not mutate the returned slice; the public
+// RelationNames keeps returning a fresh copy.
+func (q *Query) names() []string {
+	if m := q.memo.Load(); m != nil {
+		return m.names
+	}
+	return q.cat.Names()
+}
+
+func (q *Query) buildUncached() (core.Query, error) {
 	n := q.cat.Len()
 	if n == 0 {
 		return core.Query{}, errors.New("blitzsplit: query has no relations")

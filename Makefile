@@ -17,9 +17,9 @@ BENCH_GATE_THRESHOLD ?= 1.6
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/plancache ./internal/server ./internal/telemetry
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/plancache ./internal/server ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-gate bench-gate-soft profile serve-smoke fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-gate bench-gate-soft profile serve-smoke fuzz-smoke cover
 
 ci: fmt vet build test race stress cover fuzz-smoke serve-smoke bench-gate-soft
 
@@ -55,8 +55,11 @@ race:
 # shutdown and the cache/arena locking.
 stress:
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent|Canonicalizer' \
+		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent|Canonicalizer|Enumerator' \
 		./internal/core/ ./internal/hybrid/ ./internal/plancache/ ./internal/canon/ .
+	$(GO) test -race -timeout 600s -count=5 \
+		-run 'EnumeratorAgree|CCP' \
+		./internal/check/ ./internal/ccp/
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'Stress|Coalesc|Drain|Shed|Overload' \
 		./internal/server/ ./internal/telemetry/
@@ -68,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzOptimize$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzSpecRoundTrip$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzBitset$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+	$(GO) test -fuzz='^FuzzEnumerators$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 
 # Enforce the coverage floor on the optimizer core and the invariant
 # harness. A drop below COVER_MIN fails the build.
@@ -103,6 +107,14 @@ bench-serve:
 # the BENCH_hotpath.json artifact with fresh "after" rows.
 bench-hotpath:
 	$(GO) run ./cmd/blitzbench -exp hotpath -quiet -hotpath-json BENCH_hotpath.json
+
+# Regenerate BENCH_enumerators.json (see EXPERIMENTS.md): the 3^n-vs-CCP
+# speedup curve by topology, including the large acceptance points (the
+# n=25 clique under dense CCP and the n=40 balanced tree on the sparse
+# index — the better part of an hour on one core).
+bench-enumerators:
+	$(GO) run ./cmd/blitzbench -exp enumerators -enum-frontier \
+		-enum-json BENCH_enumerators.json
 
 # The benchstat-style regression gate: re-measure the hot paths and compare
 # against the checked-in BENCH_hotpath.json. Fails (exit 1) when ns/op

@@ -62,6 +62,36 @@ type Counters = core.Counters
 // CostModel is a decomposed join cost function κ = κ′ + κ″ (§3.2).
 type CostModel = cost.Model
 
+// Enumerator selects the exact fill strategy (see WithEnumerator).
+type Enumerator = core.Enumerator
+
+// The exact fill strategies WithEnumerator accepts.
+const (
+	// EnumeratorBlitz is the paper's 3^n split scan over every bipartition,
+	// Cartesian products included — the default, and the only complete
+	// strategy for disconnected graphs and predicate-free queries.
+	EnumeratorBlitz = core.EnumeratorBlitz
+	// EnumeratorCCP restricts the scan to connected-subgraph/complement
+	// pairs (DPccp): exact over the Cartesian-product-free bushy space.
+	// Requires a connected join graph and the default bushy scan; Optimize
+	// rejects it otherwise with ErrEnumeratorUnsupported.
+	EnumeratorCCP = core.EnumeratorCCP
+	// EnumeratorAuto picks per query: CCP when eligible, blitz otherwise.
+	// On a connected graph whose optimum uses a Cartesian product, Auto
+	// returns the best product-free plan — topology-aware speed at the
+	// price of that caveat.
+	EnumeratorAuto = core.EnumeratorAuto
+)
+
+// ParseEnumerator parses an -enumerator flag value: "blitz" (or ""), "ccp",
+// or "auto".
+func ParseEnumerator(name string) (Enumerator, error) { return core.ParseEnumerator(name) }
+
+// ErrEnumeratorUnsupported is returned when EnumeratorCCP is requested for a
+// query outside its space: no join graph, a disconnected graph, a custom
+// estimator, or the left-deep restriction.
+var ErrEnumeratorUnsupported = core.ErrEnumeratorUnsupported
+
 // Database is a synthesized in-memory instance that optimized plans can be
 // executed against.
 type Database = engine.Instance

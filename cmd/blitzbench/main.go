@@ -15,6 +15,7 @@
 //	blitzbench -exp cache              # plan-cache serving: cold vs warm engine
 //	blitzbench -exp serve              # closed-loop load against the blitzd stack
 //	blitzbench -exp hotpath            # serve hot paths: cache hit + cold fill, before/after
+//	blitzbench -exp enumerators        # 3^n scan vs csg–cmp enumerator: speedup by topology
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -30,6 +31,8 @@
 //	-qps rate       pace the -exp serve load generator at this global rate (0 = flat out)
 //	-serve-json p   write the -exp serve measurement artifact (BENCH_serve.json) to p
 //	-hotpath-json p write the -exp hotpath measurement artifact (BENCH_hotpath.json) to p
+//	-enum-json p    write the -exp enumerators artifact (BENCH_enumerators.json) to p
+//	-enum-frontier  include the -exp enumerators large points (n=25 clique, n=40 tree; slow)
 //	-gate p         gate -exp hotpath against the artifact at p; regressions exit 1
 //	-gate-threshold f  allowed ns/op ratio over the gate baseline (default 1.6)
 //	-cpuprofile p   write a CPU profile of the run to p (go tool pprof)
@@ -75,7 +78,7 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
@@ -87,6 +90,8 @@ func runMain(args []string, out, errOut io.Writer) int {
 	qps := fs.Float64("qps", 0, "pace the -exp serve load generator at this global request rate (0 = flat out)")
 	serveJSON := fs.String("serve-json", "", "write the -exp serve measurement artifact to this path")
 	hotpathJSON := fs.String("hotpath-json", "", "write the -exp hotpath measurement artifact to this path")
+	enumJSON := fs.String("enum-json", "", "write the -exp enumerators measurement artifact to this path")
+	enumFrontier := fs.Bool("enum-frontier", false, "include the -exp enumerators large points (n=25 clique dense, n=40 tree sparse; slow)")
 	gateJSON := fs.String("gate", "", "gate -exp hotpath against the artifact at this path; regressions exit 1")
 	gateThreshold := fs.Float64("gate-threshold", 0, "allowed ns/op ratio over the -gate baseline (0 = default 1.6)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
@@ -166,6 +171,8 @@ func runMain(args []string, out, errOut io.Writer) int {
 		HotpathJSON:   *hotpathJSON,
 		GateJSON:      *gateJSON,
 		GateThreshold: *gateThreshold,
+		EnumJSON:      *enumJSON,
+		EnumFrontier:  *enumFrontier,
 	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(errOut, "blitzbench:", err)

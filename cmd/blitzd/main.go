@@ -14,6 +14,7 @@
 //	-timeout d        default per-request optimization deadline (2s)
 //	-max-timeout d    cap on client-requested deadlines (30s)
 //	-max-n n          largest accepted relation count (30)
+//	-enumerator e     exact fill strategy: blitz | ccp | auto (topology-aware)
 //	-mem-budget b     per-request DP-table byte budget, e.g. 64MiB (0 = arena budget)
 //	-cache-bytes b    plan-cache byte budget, e.g. 64MiB (0 = 64MiB default)
 //	-arena-bytes b    DP-table arena byte budget (0 = 256MiB default)
@@ -85,6 +86,7 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	timeout := fs.Duration("timeout", 0, "default per-request optimization deadline (0 = 2s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
 	maxN := fs.Int("max-n", 0, "largest accepted relation count (0 = 30)")
+	enumName := fs.String("enumerator", "blitz", "exact fill strategy (blitz | ccp | auto)")
 	memBudget := fs.String("mem-budget", "", "per-request DP-table byte budget, e.g. 64MiB (empty = arena budget)")
 	cacheBytes := fs.String("cache-bytes", "", "plan-cache byte budget, e.g. 64MiB (empty = 64MiB default)")
 	arenaBytes := fs.String("arena-bytes", "", "DP-table arena byte budget (empty = 256MiB default)")
@@ -99,12 +101,18 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		return exitOK
 	}
 
+	enum, err := blitzsplit.ParseEnumerator(*enumName)
+	if err != nil {
+		fmt.Fprintf(errOut, "blitzd: -enumerator: %v\n", err)
+		return exitUsage
+	}
 	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		AdmissionWait:  *admissionWait,
 		RequestTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRelations:   *maxN,
+		Enumerator:     enum,
 		EngineOptions:  blitzsplit.EngineOptions{SelectivityQuantum: *quantum},
 	}
 	for _, b := range []struct {

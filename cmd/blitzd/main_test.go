@@ -160,3 +160,23 @@ func TestServeDrain(t *testing.T) {
 		t.Errorf("missing drain farewell:\n%s", s)
 	}
 }
+
+// TestEnumeratorFlagParse: the -enumerator grammar at the daemon boundary —
+// named strategies parse (proven by reaching the listen step), unknown
+// names exit 2 before any socket is opened.
+func TestEnumeratorFlagParse(t *testing.T) {
+	for _, name := range []string{"blitz", "ccp", "auto"} {
+		var out, errOut bytes.Buffer
+		// An invalid port makes the run fail fast *after* flag validation.
+		if got := runMain([]string{"-enumerator", name, "-addr", "127.0.0.1:99999"}, &out, &errOut, nil); got != exitError {
+			t.Errorf("-enumerator %s: exit = %d, want %d (listen error)\n%s", name, got, exitError, errOut.String())
+		}
+	}
+	var out, errOut bytes.Buffer
+	if got := runMain([]string{"-enumerator", "dpccp"}, &out, &errOut, nil); got != exitUsage {
+		t.Errorf("-enumerator dpccp: exit = %d, want %d\n%s", got, exitUsage, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "enumerator") {
+		t.Errorf("usage error does not name the flag:\n%s", errOut.String())
+	}
+}

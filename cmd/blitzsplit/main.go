@@ -10,6 +10,8 @@
 // Flags:
 //
 //	-model name      cost model: naive | sortmerge | dnl | hash | min(a,b,…)
+//	-enumerator e    exact fill strategy: blitz (3^n scan) | ccp (csg–cmp,
+//	                 connected graphs only) | auto (topology-aware selection)
 //	-leftdeep        restrict the search to left-deep vines
 //	-parallel w      fill the DP table with w parallel workers (0 = serial)
 //	-threshold v     plan-cost threshold (§6.4); re-optimizes ×1000 on failure
@@ -92,6 +94,7 @@ var errUsage = errors.New("usage error")
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("blitzsplit", flag.ContinueOnError)
 	modelName := fs.String("model", "naive", "cost model (naive | sortmerge | dnl | hash | min(a,b,…))")
+	enumName := fs.String("enumerator", "blitz", "exact fill strategy (blitz | ccp | auto)")
 	leftDeep := fs.Bool("leftdeep", false, "restrict search to left-deep vines")
 	parallel := fs.Int("parallel", 0, "DP fill worker count (0 = serial)")
 	threshold := fs.Float64("threshold", 0, "plan-cost threshold (0 = disabled)")
@@ -163,6 +166,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	options := []blitzsplit.Option{blitzsplit.WithCostModel(*modelName)}
+	enum, err := blitzsplit.ParseEnumerator(*enumName)
+	if err != nil {
+		return fmt.Errorf("%w: -enumerator: %v", errUsage, err)
+	}
+	options = append(options, blitzsplit.WithEnumerator(enum))
 	if *leftDeep {
 		options = append(options, blitzsplit.WithLeftDeep())
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"blitzsplit"
 	"blitzsplit/internal/plan"
 	"blitzsplit/internal/spec"
 )
@@ -124,5 +125,62 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "blitzsplit ") {
 		t.Errorf("version output = %q", out.String())
+	}
+}
+
+// disconnectedSpec has two joined pairs with no predicate between them — a
+// join graph outside the CCP enumerator's plan space.
+const disconnectedSpec = `{
+  "relations": [{"name":"A","cardinality":100},{"name":"B","cardinality":200},
+                {"name":"C","cardinality":300},{"name":"D","cardinality":400}],
+  "joins": [{"a":"A","b":"B","selectivity":0.01},{"a":"C","b":"D","selectivity":0.02}]
+}`
+
+func writeDisconnectedSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "disc.json")
+	if err := os.WriteFile(path, []byte(disconnectedSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEnumeratorFlag drives the -enumerator grammar and its exit-code
+// contract: the three named strategies run, unknown names are usage errors
+// (exit 2), an explicit ccp on a disconnected spec is a typed failure
+// (exit 1), and auto on the same spec degrades to the blitz scan.
+func TestEnumeratorFlag(t *testing.T) {
+	path := writeExampleSpec(t)
+	for _, tc := range []struct {
+		name    string
+		wantErr error // nil = success
+	}{
+		{"blitz", nil},
+		{"ccp", nil},
+		{"auto", nil},
+		{"", nil}, // empty selects the blitz default, matching ParseEnumerator
+		{"dpccp", errUsage},
+	} {
+		var out strings.Builder
+		err := run([]string{"-enumerator", tc.name, path}, &out)
+		if tc.wantErr == nil && err != nil {
+			t.Errorf("-enumerator %s: %v", tc.name, err)
+		}
+		if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+			t.Errorf("-enumerator %q: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+
+	dpath := writeDisconnectedSpec(t)
+	var out strings.Builder
+	err := run([]string{"-enumerator", "ccp", dpath}, &out)
+	if !errors.Is(err, blitzsplit.ErrEnumeratorUnsupported) {
+		t.Fatalf("ccp on a disconnected spec: err = %v, want ErrEnumeratorUnsupported", err)
+	}
+	if got := exitCode(err); got != exitError {
+		t.Errorf("exit code = %d, want %d", got, exitError)
+	}
+	if err := run([]string{"-enumerator", "auto", dpath}, &out); err != nil {
+		t.Errorf("auto on a disconnected spec must fall back, got %v", err)
 	}
 }

@@ -162,6 +162,21 @@ func (e *Engine) optimizeQuery(cq core.Query, cfg config, names []string) (*Resu
 		e.scratch.Put(sc)
 		return nil, err
 	}
+	// Resolve Auto to a concrete enumerator before the key is built: CCP and
+	// blitz search different plan spaces, so the resolved strategy must be
+	// part of the cache key, and an explicit-CCP eligibility error must
+	// surface on hits exactly as a cold run would report it. Connectivity
+	// comes memoized from the canonicalization pass (no graph walk; cache
+	// hits stay allocation-free); the remaining eligibility bits mirror
+	// core's ccpEligible — the estimator case is excluded by this branch.
+	eligible := sc.canon.Connected() && !cfg.opts.LeftDeep &&
+		!cfg.opts.DisableNestedIfs && !cfg.opts.DescendingSubsets
+	enum, err := cfg.opts.ResolveEnumerator(eligible)
+	if err != nil {
+		e.scratch.Put(sc)
+		return nil, err
+	}
+	cfg.opts.Enumerator = enum
 	sc.key = appendCacheKey(sc.key[:0], sc.canon.Fingerprint(), cfg.opts)
 	if ent, ok := e.cache.GetBytes(sc.key); ok {
 		// The hit path runs entirely out of scratch: the relabeled plan (one
@@ -246,7 +261,10 @@ func (e *Engine) run(cq core.Query, cfg config) (*outcome, error) {
 
 // appendCacheKey extends the canonical fingerprint with every option that
 // changes which plan is optimal: the cost model, the left-deep restriction,
-// and the overflow limit. Deliberately absent: CostThreshold (the threshold
+// the resolved enumerator (CCP searches only the Cartesian-product-free
+// space, so its optimum can differ from the blitz scan's — Auto is resolved
+// to a concrete strategy before the key is built), and the overflow limit.
+// Deliberately absent: CostThreshold (the threshold
 // identity — a thresholded run returns the same plan or fails, though its
 // pass counters differ, so a hit's Counters describe the run that populated
 // the entry), Parallelism (the parallel fill is bit-identical), and the
@@ -260,6 +278,11 @@ func appendCacheKey(dst []byte, fp []byte, opts core.Options) []byte {
 		b = append(b, 'L')
 	} else {
 		b = append(b, 'B')
+	}
+	if opts.Enumerator == core.EnumeratorCCP {
+		b = append(b, 'C')
+	} else {
+		b = append(b, 'X')
 	}
 	limit := opts.OverflowLimit
 	if limit <= 0 {
@@ -352,6 +375,7 @@ func (e *Engine) OptimizeLarge(ctx context.Context, q *Query, blockSize int, opt
 		Stochastic: baseline.StochasticOptions{Seed: 1},
 		Ctx:        rctx,
 		Arena:      e.arena,
+		Enumerator: cfg.opts.Enumerator,
 	})
 	if err != nil {
 		return nil, err

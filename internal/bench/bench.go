@@ -60,6 +60,15 @@ type Config struct {
 	// GateThreshold is the allowed ns/op ratio over the gate baseline
 	// (0 = the default, generous enough for noisy 1-core CI hosts).
 	GateThreshold float64
+	// EnumJSON, when nonempty, is where the enumerators experiment writes
+	// its BENCH_enumerators.json measurement artifact.
+	EnumJSON string
+	// EnumFrontier includes the enumerators experiment's large acceptance
+	// points — the n = 25 clique under dense CCP (~10^11 split iterations)
+	// and the n = 40 balanced tree on the sparse index — which cost the
+	// better part of an hour on one core and are skipped (and recorded as
+	// skipped) by default.
+	EnumFrontier bool
 }
 
 func (c Config) n() int {
@@ -102,7 +111,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -149,6 +158,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = ServeLoad(cfg)
 	case "hotpath":
 		err = Hotpath(cfg)
+	case "enumerators":
+		err = Enumerators(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"blitzsplit/internal/ccp"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/harness"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/workload"
+)
+
+// EnumRow is one measured (or honestly skipped) data point of the
+// BENCH_enumerators.json speedup curve: a (topology, n, enumerator) cell.
+type EnumRow struct {
+	// Topology is the join-graph shape: chain, tree, cycle, star, clique.
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	// Enumerator is the exact fill strategy: "blitz" (the paper's 3^n split
+	// scan), "ccp" (the dense csg–cmp fill over the same 2^n table), or
+	// "ccp-sparse" (the connected-subset index for n past the dense cap).
+	Enumerator string  `json:"enumerator"`
+	Seconds    float64 `json:"seconds,omitempty"`
+	// LoopIters is the split-loop iteration count — the hardware-independent
+	// work measure: 3^n − 2^(n+1) + 1 for blitz, 2·(csg–cmp pairs) for CCP.
+	LoopIters uint64  `json:"loop_iters,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	// Sets is the connected-subset index size (sparse rows only).
+	Sets int `json:"sets,omitempty"`
+	// SpeedupVsBlitz is wall-clock blitz/ccp at the same (topology, n),
+	// present only where both were measured.
+	SpeedupVsBlitz float64 `json:"speedup_vs_blitz,omitempty"`
+	// Status is "measured", or the reason the cell was not ("skipped: …").
+	// Skips are recorded, never silent: a missing cell would read as an
+	// untested configuration rather than an infeasible one.
+	Status string `json:"status"`
+}
+
+// enumTopo is one benchmark topology: a name and its edge generator.
+type enumTopo struct {
+	name  string
+	edges func(n int) []joingraph.Pair
+}
+
+func enumTopologies() []enumTopo {
+	return []enumTopo{
+		{"chain", joingraph.AppendixChainEdges},
+		{"tree", joingraph.TreeEdges},
+		{"cycle", joingraph.CycleEdges},
+		{"star", func(n int) []joingraph.Pair { return joingraph.StarEdges(n, 0) }},
+		{"clique", joingraph.CliqueEdges},
+	}
+}
+
+// enumQuickNs is the grid where blitz and dense CCP are both affordable and
+// the speedup ratio is a direct wall-clock measurement.
+var enumQuickNs = []int{10, 14, 18}
+
+// enumSparseNs is the sparse sweep past the quick grid; the dense 2^n table
+// caps at bitset.MaxRelations = 30, so n = 40 rows are sparse-only.
+var enumSparseNs = []int{20, 30, 40}
+
+// enumModel is the cost model of every enumerators cell. SortMerge keeps
+// n = 40 plan costs finite under the float32 overflow limit, where the naive
+// model's intermediate-result sums blow past it on long chains.
+func enumModel() cost.Model { return cost.SortMerge{} }
+
+// enumCards is the cardinality ladder shared by every cell at one n — the
+// same construction the sparse-beyond-dense test uses, so the two stay
+// comparable.
+func enumCards(n int) []float64 { return joingraph.CardinalityLadder(n, 1000, 0.6) }
+
+// Enumerators measures the 3^n-vs-CCP speedup curve by topology and writes
+// the BENCH_enumerators.json artifact (Config.EnumJSON):
+//
+//   - Quick grid (n = 10, 14, 18): blitz and dense CCP measured head-to-head
+//     on every topology; the speedup column is the wall-clock ratio. The
+//     loop-iteration columns carry the hardware-independent version of the
+//     same curve: 3^n-ish for blitz everywhere and on cliques, polynomial
+//     for CCP on chains and trees.
+//   - Sparse sweep (n = 20, 30, 40): the connected-subset index on chain,
+//     tree, and cycle — past n = 30 no dense table exists at all. Star and
+//     clique rows record the admission refusal (≈2^(n−1) connected subsets).
+//   - Frontier (Config.EnumFrontier): the acceptance points — dense CCP on
+//     the n = 25 clique (every subset connected: CCP does the full 3^n work,
+//     proving the selection logic costs nothing where CCP cannot win) and
+//     the n = 40 balanced tree on the sparse index (16.5M subtrees). The
+//     clique point runs ~10^11 split iterations; without the flag both rows
+//     are recorded as skipped.
+func Enumerators(cfg Config) error {
+	w := cfg.out()
+	fmt.Fprintf(w, "\n== Enumerators: the 3^n split scan vs the csg–cmp fill, by topology ==\n")
+	fmt.Fprintf(w, "Claim: on connected sparse graphs the csg–cmp enumerator does only the\n")
+	fmt.Fprintf(w, "O(connected pairs) split work — polynomial on chains and trees — while the\n")
+	fmt.Fprintf(w, "blitz scan's 3^n is topology-blind; on cliques the two coincide. The sparse\n")
+	fmt.Fprintf(w, "index extends exact product-free optimization past the 2^n table to n = 40.\n\n")
+
+	var rows []EnumRow
+	model := enumModel()
+
+	// Quick grid: head-to-head on every topology.
+	for _, topo := range enumTopologies() {
+		for _, n := range enumQuickNs {
+			cards := enumCards(n)
+			g := joingraph.Build(topo.edges(n), cards)
+			var blitzSecs float64
+			for _, e := range []core.Enumerator{core.EnumeratorBlitz, core.EnumeratorCCP} {
+				c := workload.Case{
+					Name:  fmt.Sprintf("enum/%s/n=%d/%v", topo.name, n, e),
+					N:     n,
+					Cards: cards, Graph: g, Model: model,
+					Enumerator: e,
+				}
+				m := harness.Measure(c, cfg.Budget)
+				if m.Err != nil {
+					return fmt.Errorf("bench: %s: %w", c.Name, m.Err)
+				}
+				row := EnumRow{
+					Topology: topo.name, N: n, Enumerator: e.String(),
+					Seconds: m.Seconds, LoopIters: m.Counters.LoopIters,
+					Cost: m.Cost, Status: "measured",
+				}
+				if e == core.EnumeratorBlitz {
+					blitzSecs = m.Seconds
+				} else if blitzSecs > 0 && m.Seconds > 0 {
+					row.SpeedupVsBlitz = blitzSecs / m.Seconds
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%s: %.4fs (%d iters)\n", c.Name, m.Seconds, m.Counters.LoopIters)
+				}
+			}
+		}
+	}
+
+	// Sparse sweep: the index is built for sparse topologies — chain, tree,
+	// cycle — where connected sets stay polynomial. Star and clique would
+	// admit at n = 20 (2^19 and 2^20 sets under the cap) but their csg–cmp
+	// pair streams are near-3^n and the dense table already covers n ≤ 30,
+	// so the sweep skips them and instead records the genuine admission
+	// refusal at n = 30, the first size where no dense table exists.
+	for _, topo := range enumTopologies() {
+		switch topo.name {
+		case "star", "clique":
+			rows = append(rows, measureSparse(cfg, topo, 30, model, 1<<22))
+			continue
+		}
+		for _, n := range enumSparseNs {
+			if topo.name == "tree" && n == 40 && !cfg.EnumFrontier {
+				rows = append(rows, EnumRow{Topology: topo.name, N: n, Enumerator: "ccp-sparse",
+					Status: "skipped: 16.5M subtrees cost minutes of fill; run with -enum-frontier"})
+				continue
+			}
+			rows = append(rows, measureSparse(cfg, topo, n, model, 1<<25))
+		}
+	}
+
+	// Frontier: dense CCP on the clique at n = 25 — past every quick-grid n,
+	// inside the dense table's n ≤ 30 cap, and the worst case for CCP (all
+	// 3^25 split work survives the connectivity restriction).
+	if cfg.EnumFrontier {
+		rows = append(rows, measureDenseFrontier(cfg, "clique", joingraph.CliqueEdges, 25, model))
+	} else {
+		rows = append(rows, EnumRow{Topology: "clique", N: 25, Enumerator: "ccp",
+			Status: "skipped: ~8.5e11 split iterations; run with -enum-frontier"})
+	}
+
+	printEnumRows(w, rows)
+	if cfg.EnumJSON != "" {
+		if err := writeEnumArtifact(cfg.EnumJSON, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.EnumJSON)
+	}
+	return nil
+}
+
+// measureSparse runs one sparse cell: a single timed optimization (sparse
+// fills at these sizes run milliseconds to minutes, so one run is the honest
+// unit), or the recorded admission refusal on dense topologies.
+func measureSparse(cfg Config, topo enumTopo, n int, model cost.Model, maxSets uint64) EnumRow {
+	row := EnumRow{Topology: topo.name, N: n, Enumerator: "ccp-sparse"}
+	cards := enumCards(n)
+	wide := ccp.BuildWide(topo.edges(n), cards)
+	start := time.Now()
+	res, err := wide.Optimize(cards, ccp.SparseOptions{Model: model, MaxSets: maxSets})
+	secs := time.Since(start).Seconds()
+	if errors.Is(err, ccp.ErrTooManySets) {
+		row.Status = "skipped: " + err.Error()
+		return row
+	}
+	if err != nil {
+		row.Status = "error: " + err.Error()
+		return row
+	}
+	row.Seconds = secs
+	row.LoopIters = res.Counters.LoopIters
+	row.Cost = res.Cost
+	row.Sets = res.Sets
+	row.Status = "measured"
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "enum/%s/n=%d/ccp-sparse: %.4fs (%d sets)\n", topo.name, n, secs, res.Sets)
+	}
+	return row
+}
+
+// measureDenseFrontier runs one large dense-CCP cell as a single
+// core.Optimize call — at these sizes one fill is minutes of work and the
+// repeat-until-budget loop would be dishonest padding.
+func measureDenseFrontier(cfg Config, name string, edges func(int) []joingraph.Pair, n int, model cost.Model) EnumRow {
+	row := EnumRow{Topology: name, N: n, Enumerator: "ccp"}
+	cards := enumCards(n)
+	g := joingraph.Build(edges(n), cards)
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "enum/%s/n=%d/ccp: starting single frontier run…\n", name, n)
+	}
+	start := time.Now()
+	res, err := core.Optimize(core.Query{Cards: cards, Graph: g},
+		core.Options{Model: model, Enumerator: core.EnumeratorCCP, DiscardTable: true})
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		row.Status = "error: " + err.Error()
+		return row
+	}
+	row.Seconds = secs
+	row.LoopIters = res.Counters.LoopIters
+	row.Cost = res.Cost
+	row.Status = "measured"
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "enum/%s/n=%d/ccp: %.1fs (%d iters)\n", name, n, secs, res.Counters.LoopIters)
+	}
+	return row
+}
+
+func printEnumRows(w io.Writer, rows []EnumRow) {
+	fmt.Fprintf(w, "%-8s %4s %-11s %12s %16s %8s  %s\n",
+		"topology", "n", "enumerator", "seconds", "loop iters", "speedup", "status")
+	for _, r := range rows {
+		speedup := ""
+		if r.SpeedupVsBlitz > 0 {
+			speedup = fmt.Sprintf("%.1f×", r.SpeedupVsBlitz)
+		}
+		fmt.Fprintf(w, "%-8s %4d %-11s %12.4f %16d %8s  %s\n",
+			r.Topology, r.N, r.Enumerator, r.Seconds, r.LoopIters, speedup, r.Status)
+	}
+}
+
+// enumArtifact is the BENCH_enumerators.json schema, mirroring the other
+// measurement artifacts.
+type enumArtifact struct {
+	Benchmark  string    `json:"benchmark"`
+	Command    string    `json:"command"`
+	Date       string    `json:"date"`
+	Goos       string    `json:"goos"`
+	Goarch     string    `json:"goarch"`
+	CPU        string    `json:"cpu,omitempty"`
+	Gomaxprocs int       `json:"gomaxprocs"`
+	Note       string    `json:"note"`
+	Results    []EnumRow `json:"results"`
+}
+
+func writeEnumArtifact(path string, rows []EnumRow) error {
+	art := enumArtifact{
+		Benchmark:  "blitzbench -exp enumerators",
+		Command:    "go run ./cmd/blitzbench -exp enumerators -enum-frontier -enum-json BENCH_enumerators.json",
+		Date:       time.Now().Format("2006-01-02"),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Note: "3^n split scan vs csg–cmp enumerator by topology on the (mean 1000, var 0.6) " +
+			"cardinality ladder under κsm. Quick-grid rows (n ≤ 18) are budget-averaged and carry " +
+			"the wall-clock speedup; sparse and frontier rows are single runs. loop_iters is the " +
+			"hardware-independent work measure: 3^n − 2^(n+1) + 1 for blitz, 2·(csg–cmp pairs) for " +
+			"both CCP fills. Skipped cells record why — infeasible work (blitz past n ≈ 20, the " +
+			"3^25 clique without -enum-frontier) or sparse admission refusals on star/clique " +
+			"(≈2^(n−1) connected subsets).",
+		Results: rows,
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -73,6 +73,11 @@ type Canonical struct {
 	// automorphic (equal-label symmetric topologies — chains, stars, cycles,
 	// cliques — tie only on automorphism orbits, where any choice is safe).
 	Exact bool
+	// Connected reports that the query has a join graph connecting all of
+	// its relations (connectivity is labeling-invariant, so it is a property
+	// of the fingerprint). The engine's topology-aware enumerator selection
+	// reads this instead of re-walking the join graph per optimize call.
+	Connected bool
 
 	// cards and edges are the canonical query's components, retained so
 	// Query can materialize it on demand. A cache hit needs only the

@@ -29,9 +29,10 @@ type neighbor struct {
 // keeps one sync.Pool per Engine) or use the package-level Canonicalize,
 // which allocates a fresh one per call.
 type Canonicalizer struct {
-	n        int
-	hasGraph bool
-	exact    bool
+	n         int
+	hasGraph  bool
+	exact     bool
+	connected bool
 
 	cardBits   []uint64
 	edges      []joingraph.Edge
@@ -92,6 +93,8 @@ func (c *Canonicalizer) Canonicalize(q core.Query, opts Options) error {
 			c.nbrOff[i] = 0
 		}
 	}
+
+	c.computeConnected()
 
 	for i := range c.prio {
 		c.prio[i] = 0
@@ -166,6 +169,43 @@ func (c *Canonicalizer) ToOrig() []int { return c.toOrig }
 // last Canonicalize call (see Canonical.Exact for the cache implications).
 func (c *Canonicalizer) Exact() bool { return c.exact }
 
+// Connected reports whether the last Canonicalize call's query had a join
+// graph connecting all of its relations — the topology bit the engine's
+// Auto-enumerator resolution needs. Memoizing it here (a union-find over the
+// edge list, run once per canonicalization into pooled scratch) keeps the
+// serve path's topology-aware selection allocation-free: cache hits never
+// touch the join graph at all. False whenever the query has no graph.
+func (c *Canonicalizer) Connected() bool { return c.connected }
+
+// computeConnected runs a union-find with path halving over the edge list,
+// using the cursor scratch (free after buildAdjacency) as the parent array.
+func (c *Canonicalizer) computeConnected() {
+	if !c.hasGraph {
+		c.connected = false
+		return
+	}
+	parent := c.cursor
+	for i := 0; i < c.n; i++ {
+		parent[i] = i
+	}
+	find := func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	comps := c.n
+	for _, e := range c.edges {
+		ra, rb := find(e.A), find(e.B)
+		if ra != rb {
+			parent[ra] = rb
+			comps--
+		}
+	}
+	c.connected = comps == 1
+}
+
 // Canonical materializes the last result as a self-contained Canonical that
 // shares no state with the canonicalizer — the engine calls this only on a
 // cache miss, when the canonical query is about to be optimized and must
@@ -176,6 +216,7 @@ func (c *Canonicalizer) Canonical() *Canonical {
 		ToOrig:      append([]int(nil), c.toOrig...),
 		Fingerprint: string(c.fp),
 		Exact:       c.exact,
+		Connected:   c.connected,
 		cards:       append([]float64(nil), c.canonCards...),
 		edges:       append([]joingraph.Edge(nil), c.edges...),
 		hasGraph:    c.hasGraph,

@@ -1,0 +1,357 @@
+// The sparse csg–cmp optimizer: exact Cartesian-product-free join-order
+// optimization indexed on connected subsets only, for graphs of up to 63
+// relations. The dense blitzsplit table is 2^n entries regardless of
+// topology; on a chain there are only n(n+1)/2 connected subsets (the
+// contiguous runs), on a tree O(poly), so indexing the connected sets alone
+// pushes exact optimization to n = 40+ on the topologies where csg–cmp wins
+// most — the acyclic queries of PAPERS.md "Algorithms for Optimizing Acyclic
+// Queries". Star and clique graphs have ~2^(n−1) connected subsets; the
+// MaxSets admission cap refuses those before allocating.
+
+package ccp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/joingraph"
+	"blitzsplit/internal/plan"
+)
+
+// MaxWideRelations is the relation-count ceiling of the sparse path: subset
+// bitsets must fit one word. (bitset.MaxRelations caps the dense table; Wide
+// exists precisely to go past it.)
+const MaxWideRelations = 63
+
+// ErrDisconnected reports a join graph whose relations cannot all be joined
+// without a Cartesian product — outside the sparse optimizer's plan space by
+// construction.
+var ErrDisconnected = errors.New("ccp: join graph is disconnected; no Cartesian-product-free plan exists")
+
+// ErrTooManySets reports that the graph's connected-subset count exceeds
+// SparseOptions.MaxSets: the topology is too dense for the sparse index
+// (star/clique-like), and the caller should use the dense fill instead.
+var ErrTooManySets = errors.New("ccp: too many connected subsets for the sparse index")
+
+// WideEdge is one join predicate of a Wide graph.
+type WideEdge struct {
+	A, B        int
+	Selectivity float64
+}
+
+// Wide is a join graph over up to MaxWideRelations relations — the same
+// shape as joingraph.Graph, rebuilt here because joingraph (and plan.Leaf,
+// and the dense core table) cap n at bitset.MaxRelations = 30 while the
+// sparse optimizer's whole point is n beyond that.
+type Wide struct {
+	n     int
+	adj   Adjacency
+	edges []WideEdge
+}
+
+// NewWide returns an edgeless wide graph over n relations.
+func NewWide(n int) *Wide {
+	if n < 1 || n > MaxWideRelations {
+		panic(fmt.Sprintf("ccp: n = %d out of range [1,%d]", n, MaxWideRelations))
+	}
+	return &Wide{n: n, adj: make(Adjacency, n)}
+}
+
+// BuildWide constructs a wide graph over len(cards) relations with the given
+// edges carrying the Appendix selectivity formula — the same construction as
+// joingraph.Build, lifted past the 30-relation cap for the large-n
+// benchmark sweeps.
+func BuildWide(pairs []joingraph.Pair, cards []float64) *Wide {
+	w := NewWide(len(cards))
+	sels := joingraph.EdgeSelectivities(pairs, cards)
+	for i, p := range pairs {
+		if err := w.AddEdge(p[0], p[1], sels[i]); err != nil {
+			panic("ccp: " + err.Error())
+		}
+	}
+	return w
+}
+
+// N returns the number of relations.
+func (w *Wide) N() int { return w.n }
+
+// NumEdges returns the number of predicates.
+func (w *Wide) NumEdges() int { return len(w.edges) }
+
+// Adjacency returns the graph's neighbor-set view (aliased, not copied).
+func (w *Wide) Adjacency() Adjacency { return w.adj }
+
+// AddEdge adds a predicate between relations a and b. Self-edges, duplicate
+// edges and selectivities outside (0, 1] are rejected.
+func (w *Wide) AddEdge(a, b int, selectivity float64) error {
+	if a < 0 || a >= w.n || b < 0 || b >= w.n {
+		return fmt.Errorf("ccp: edge (%d,%d) out of range [0,%d)", a, b, w.n)
+	}
+	if a == b {
+		return fmt.Errorf("ccp: self-edge on relation %d", a)
+	}
+	if !(selectivity > 0 && selectivity <= 1) {
+		return fmt.Errorf("ccp: selectivity %v outside (0,1]", selectivity)
+	}
+	if w.adj[a]&(bitset.Set(1)<<uint(b)) != 0 {
+		return fmt.Errorf("ccp: duplicate edge (%d,%d)", a, b)
+	}
+	w.adj[a] |= bitset.Set(1) << uint(b)
+	w.adj[b] |= bitset.Set(1) << uint(a)
+	if a > b {
+		a, b = b, a
+	}
+	w.edges = append(w.edges, WideEdge{A: a, B: b, Selectivity: selectivity})
+	return nil
+}
+
+// SparseOptions configures a sparse optimization run.
+type SparseOptions struct {
+	// Model is the cost model; nil means cost.Naive{}.
+	Model cost.Model
+	// OverflowLimit rejects plans costlier than this; ≤ 0 means the
+	// single-precision maximum, matching core.Options.
+	OverflowLimit float64
+	// MaxSets caps the connected-subset index; 0 means 1<<22 (≈ 4.2M sets,
+	// ~200 MB of index). Graphs exceeding it get ErrTooManySets.
+	MaxSets uint64
+}
+
+func (o SparseOptions) model() cost.Model {
+	if o.Model == nil {
+		return cost.Naive{}
+	}
+	return o.Model
+}
+
+func (o SparseOptions) limit() float64 {
+	if o.OverflowLimit <= 0 {
+		return math.MaxFloat32
+	}
+	return o.OverflowLimit
+}
+
+func (o SparseOptions) maxSets() uint64 {
+	if o.MaxSets == 0 {
+		return 1 << 22
+	}
+	return o.MaxSets
+}
+
+// SparseCounters mirrors core.Counters for the sparse fill (the package
+// cannot import core). On the same connected query the set-determined
+// counts — SubsetsVisited, LoopIters, KpEvals — are identical to the dense
+// CCP fill's; KppEvals and CondHits depend on float cost values, which the
+// sparse path computes by direct product rather than the dense recurrences,
+// so they may differ in the last bits.
+type SparseCounters struct {
+	SubsetsVisited uint64
+	LoopIters      uint64
+	KppEvals       uint64
+	KpEvals        uint64
+	CondHits       uint64
+	ThresholdSkips uint64
+}
+
+// SparseResult is the outcome of a sparse optimization run.
+type SparseResult struct {
+	Plan        *plan.Node
+	Cost        float64
+	Cardinality float64
+	// Sets is the size of the connected-subset index (singletons included).
+	Sets     int
+	Counters SparseCounters
+}
+
+// Optimize runs the sparse csg–cmp dynamic program: exact over the
+// Cartesian-product-free bushy space, with the same κ′/κ″ decomposition,
+// strict prunes, and smallest-LHS tie rule as the dense fill in
+// internal/core — winners agree with the dense CCP fill up to float
+// tolerance (the sparse path computes cardinalities by direct product over
+// members and induced predicates instead of the §5.2 recurrences).
+func (w *Wide) Optimize(cards []float64, opts SparseOptions) (*SparseResult, error) {
+	if len(cards) != w.n {
+		return nil, fmt.Errorf("ccp: %d cardinalities for %d relations", len(cards), w.n)
+	}
+	for i, c := range cards {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("ccp: relation %d has invalid cardinality %v", i, c)
+		}
+	}
+	full := bitset.Set(1)<<uint(w.n) - 1
+	if !w.adj.Connected(full) {
+		return nil, ErrDisconnected
+	}
+	// Admission: count before collecting so a star at n = 40 fails fast
+	// instead of materializing 2^39 sets.
+	maxSets := opts.maxSets()
+	if w.adj.CountConnected(maxSets) > maxSets {
+		return nil, fmt.Errorf("%w: more than %d (graph has %d relations)", ErrTooManySets, maxSets, w.n)
+	}
+
+	// Index the connected subsets, sorted by (popcount, value) so every
+	// proper connected subset of a set precedes it — the sparse analog of
+	// the numeric fill order.
+	var sets []bitset.Set
+	w.adj.EnumerateCsg(func(s bitset.Set) bool {
+		sets = append(sets, s)
+		return true
+	})
+	sort.Slice(sets, func(i, j int) bool {
+		ci, cj := sets[i].Count(), sets[j].Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return sets[i] < sets[j]
+	})
+	id := make(map[bitset.Set]int32, len(sets))
+	for i, s := range sets {
+		id[s] = int32(i)
+	}
+
+	card := make([]float64, len(sets))
+	costs := make([]float64, len(sets))
+	bestLHS := make([]bitset.Set, len(sets))
+	for i, s := range sets {
+		card[i] = w.joinCardinality(s, cards)
+	}
+
+	m := opts.model()
+	limit := opts.limit()
+	var c SparseCounters
+
+	// Per-set pass: κ′ evaluation and the §6.3 overflow skip, plus each
+	// set's remaining split-dependent budget (limit − κ′), exactly the
+	// initialization the dense findBestSplitCCP performs before its loop.
+	kp := make([]float64, len(sets))
+	best := make([]float64, len(sets))
+	skip := make([]bool, len(sets))
+	for i, s := range sets {
+		if s&(s-1) == 0 {
+			continue // singletons: cost 0
+		}
+		costs[i] = math.Inf(1)
+		c.SubsetsVisited++
+		k := m.SplitIndep(card[i])
+		c.KpEvals++
+		if k > limit || math.IsInf(k, 1) || math.IsNaN(k) {
+			c.ThresholdSkips++
+			skip[i] = true
+			continue
+		}
+		kp[i] = k
+		best[i] = limit - k
+	}
+
+	// Pair-driven fill: every csg–cmp pair folds into its union's entry, in
+	// the Moerkotte–Neumann stream order where component entries are final
+	// when read (see EnumerateCsgCmp). The total split work is O(pairs) — on
+	// a bushy tree each connected set has only |S|−1 valid splits but
+	// exponentially many connected subsets containing min(S), so a per-set
+	// lhs scan would drown; the pair stream never touches an invalid split.
+	// Prune structure and the smallest-LHS tie rule are the dense loop's; the
+	// stream visits a set's pairs in a different order than the dense
+	// ascending scan, which cannot change the final (cost, lhs) — minimum and
+	// tie rule are order-independent over the same candidate values — but
+	// does shift which candidates the evolving-best prunes reject, hence the
+	// KppEvals/CondHits caveat on SparseCounters.
+	lastS1 := bitset.Empty
+	var lastLI int32
+	w.adj.EnumerateCsgCmp(func(s1, s2 bitset.Set) bool {
+		ui := id[s1|s2]
+		if skip[ui] {
+			return true
+		}
+		c.LoopIters += 2 // both orientations, as the dense pair loop charges
+		if s1 != lastS1 {
+			lastS1, lastLI = s1, id[s1] // pairs stream grouped by s1
+		}
+		li, ri := lastLI, id[s2]
+		lc := costs[li]
+		if lc > best[ui] {
+			return true
+		}
+		rc := costs[ri]
+		if rc > best[ui] {
+			return true
+		}
+		oprnd := lc + rc
+		if oprnd > best[ui] {
+			return true
+		}
+		outCard := card[ui]
+		c.KppEvals++
+		if d := oprnd + m.SplitDep(outCard, card[li], card[ri]); d < best[ui] || (d == best[ui] && s1 < bestLHS[ui]) {
+			if d < best[ui] {
+				c.CondHits++
+			}
+			best[ui] = d
+			bestLHS[ui] = s1
+			costs[ui] = d + kp[ui]
+		}
+		if oprnd > best[ui] {
+			return true
+		}
+		c.KppEvals++
+		if d := oprnd + m.SplitDep(outCard, card[ri], card[li]); d < best[ui] || (d == best[ui] && s2 < bestLHS[ui]) {
+			if d < best[ui] {
+				c.CondHits++
+			}
+			best[ui] = d
+			bestLHS[ui] = s2
+			costs[ui] = d + kp[ui]
+		}
+		return true
+	})
+
+	fi := id[full]
+	if math.IsInf(costs[fi], 1) {
+		return nil, errors.New("ccp: no plan within the overflow cost limit")
+	}
+	res := &SparseResult{
+		Cost:        costs[fi],
+		Cardinality: card[fi],
+		Sets:        len(sets),
+		Counters:    c,
+	}
+	res.Plan = w.extract(full, id, card, costs, bestLHS)
+	return res, nil
+}
+
+// joinCardinality estimates |⋈ s| directly: the product of the member
+// cardinalities times the selectivities of all predicates inside s.
+func (w *Wide) joinCardinality(s bitset.Set, cards []float64) float64 {
+	out := 1.0
+	for t := s; t != 0; t &= t - 1 {
+		out *= cards[bits.TrailingZeros64(uint64(t))]
+	}
+	for _, e := range w.edges {
+		if s&(bitset.Set(1)<<uint(e.A)) != 0 && s&(bitset.Set(1)<<uint(e.B)) != 0 {
+			out *= e.Selectivity
+		}
+	}
+	return out
+}
+
+// extract rebuilds the optimal plan tree by following bestLHS links. Leaves
+// are built literally rather than via plan.Leaf, which caps relation indexes
+// at bitset.MaxRelations.
+func (w *Wide) extract(s bitset.Set, id map[bitset.Set]int32, card, costs []float64, bestLHS []bitset.Set) *plan.Node {
+	i := id[s]
+	if s&(s-1) == 0 {
+		return &plan.Node{Set: s, Rel: bits.TrailingZeros64(uint64(s)), Card: card[i]}
+	}
+	lhs := bestLHS[i]
+	return &plan.Node{
+		Set:   s,
+		Card:  card[i],
+		Cost:  costs[i],
+		Left:  w.extract(lhs, id, card, costs, bestLHS),
+		Right: w.extract(s^lhs, id, card, costs, bestLHS),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 )
@@ -73,9 +74,35 @@ func (c Checker) Full(q core.Query, m cost.Model, leftDeep bool, aux int64) erro
 		return fmt.Errorf("threshold identity: %w", err)
 	}
 
+	if err := c.EnumeratorAgree(q, opts); err != nil {
+		return fmt.Errorf("enumerator agreement: %w", err)
+	}
+	if q.Estimator == nil && !leftDeep && q.Graph != nil &&
+		q.Graph.Connected(bitset.Full(n)) {
+		// Re-run the identity checks under the CCP enumerator: its layered
+		// parallel fill and threshold passes must be as bit-stable as the
+		// blitz scan's.
+		copts := opts
+		copts.Enumerator = core.EnumeratorCCP
+		if err := c.SerialParallelIdentical(q, copts, 2+int(aux&1)); err != nil {
+			return fmt.Errorf("ccp serial/parallel identity: %w", err)
+		}
+		if err := c.ThresholdIdentical(q, copts, threshold); err != nil {
+			return fmt.Errorf("ccp threshold identity: %w", err)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(aux))
 	if err := c.PermutationInvariant(q, opts, rng.Perm(n)); err != nil {
 		return fmt.Errorf("permutation invariance: %w", err)
+	}
+	if q.Estimator == nil && !leftDeep && q.Graph != nil &&
+		q.Graph.Connected(bitset.Full(n)) {
+		copts := opts
+		copts.Enumerator = core.EnumeratorCCP
+		if err := c.PermutationInvariant(q, copts, rng.Perm(n)); err != nil {
+			return fmt.Errorf("ccp permutation invariance: %w", err)
+		}
 	}
 	if err := c.CacheFaithful(q, opts, rng.Perm(n)); err != nil {
 		return fmt.Errorf("cache faithfulness: %w", err)

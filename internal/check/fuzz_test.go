@@ -8,6 +8,7 @@ import (
 
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/check"
+	"blitzsplit/internal/core"
 	"blitzsplit/internal/spec"
 	"blitzsplit/internal/testutil"
 )
@@ -206,6 +207,34 @@ func FuzzBitset(f *testing.F) {
 			if gosper[i*chunk] != st {
 				t.Fatalf("chunk %d starts at %v, want Gosper element %d = %v", i, st, i*chunk, gosper[i*chunk])
 			}
+		}
+	})
+}
+
+// FuzzEnumerators decodes arbitrary bytes into a valid query and runs the
+// enumerator-agreement lattice on it: explicit-CCP eligibility errors, the
+// Auto fallback identity, CCP-vs-BushyNoCP same-space agreement, superset
+// cost domination, product-free bitwise identity, the 2·pairs LoopIters
+// bookkeeping, and the bitmap-vs-BFS connectivity differential. The
+// checked-in corpus spans a chain, a star, a cycle, a clique, and a
+// disconnected graph at n = 5.
+//
+//	go test -fuzz=FuzzEnumerators -fuzztime=30s ./internal/check/
+func FuzzEnumerators(f *testing.F) {
+	// n byte = 4 → n = 5; pairByIndex order makes (0,1)=0 (0,2)=1 (0,3)=2
+	// (0,4)=3 (1,2)=4 (1,3)=5 (1,4)=6 (2,3)=7 (2,4)=8 (3,4)=9.
+	f.Add([]byte{4, 3, 7, 11, 5, 9, 1, 4, 0, 2, 4, 2, 7, 2, 9, 2, 0, 0, 1})                                      // chain
+	f.Add([]byte{4, 3, 7, 11, 5, 9, 1, 4, 0, 2, 1, 2, 2, 2, 3, 2, 0, 0, 1})                                      // star, hub 0
+	f.Add([]byte{4, 3, 7, 11, 5, 9, 1, 5, 0, 2, 4, 2, 7, 2, 9, 2, 3, 2, 0, 0, 1})                                // cycle
+	f.Add([]byte{4, 3, 7, 11, 5, 9, 1, 10, 0, 2, 1, 2, 2, 2, 3, 2, 4, 2, 5, 2, 6, 2, 7, 2, 8, 2, 9, 2, 1, 0, 1}) // clique
+	f.Add([]byte{4, 3, 7, 11, 5, 9, 1, 2, 0, 2, 4, 2, 0, 0, 1})                                                  // disconnected: {0,1,2} joined, 3 and 4 isolated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fq := testutil.QueryFromBytes(data)
+		var c check.Checker
+		opts := core.Options{Model: fq.Model, LeftDeep: fq.LeftDeep, DiscardTable: true}
+		if err := c.EnumeratorAgree(fq.Query, opts); err != nil {
+			t.Fatalf("enumerator invariant violated (n=%d, model=%s, leftDeep=%v): %v",
+				len(fq.Query.Cards), fq.Model.Name(), fq.LeftDeep, err)
 		}
 	})
 }

@@ -1,0 +1,413 @@
+// The connected-complement-pair (CCP) fill strategy: the second exact fill
+// behind Options.Enumerator. The paper's §4.2 scan enumerates every
+// bipartition of every subset — 3^n split iterations — including Cartesian
+// splits that a connected join graph never needs. The CCP fill visits only
+// connected subsets (a sorted list produced by internal/ccp's
+// neighborhood-based csg expansion) and, inside each, only splits whose two
+// halves are both connected (O(1) probes into a 2^n-bit connectivity
+// bitmap). On a chain the 3^n term collapses to O(n^3); on a clique every
+// subset is connected and the fill degenerates to the blitz scan plus two
+// bitmap probes per pair — which is why EnumeratorAuto exists rather than an
+// unconditional switch.
+//
+// The guarded loops below are copied from findBestSplit's pair loops with
+// only the connectivity guards inserted: same κ′/κ″ evaluation order, same
+// strict prunes, same smallest-LHS tie rule. Because the CCP split set is a
+// subset of the blitz split set evaluated with identical float operations,
+// the CCP fill's cost for every set is ≥ the blitz fill's, with bitwise
+// equality whenever the blitz optimum is Cartesian-free —
+// check.EnumeratorAgree enforces exactly that.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/ccp"
+	"blitzsplit/internal/faultinject"
+)
+
+// Enumerator selects the exact fill strategy for Optimize.
+type Enumerator int
+
+const (
+	// EnumeratorBlitz is the paper's 3^n split scan over every bipartition,
+	// Cartesian products included — the default, and the only complete
+	// strategy for disconnected graphs, predicate-free queries, and queries
+	// whose optimum contains a Cartesian product.
+	EnumeratorBlitz Enumerator = iota
+	// EnumeratorCCP restricts the scan to connected-subgraph/complement
+	// pairs: exact over the Cartesian-product-free bushy space. Requires a
+	// connected join graph and the default bushy scan (no LeftDeep, no
+	// ablation flags, no custom estimator); Optimize rejects it otherwise
+	// with ErrEnumeratorUnsupported.
+	EnumeratorCCP
+	// EnumeratorAuto picks per query: CCP when the query is CCP-eligible,
+	// the blitz scan otherwise. Note the two strategies search different
+	// spaces — on a connected graph whose optimum uses a Cartesian product
+	// (cheap small relations under a selective star hub, §4.3's motivating
+	// shape), Auto returns the best product-free plan, which can cost more
+	// than the blitz optimum. Auto is topology-aware speed at the price of
+	// that caveat; Blitz remains the paper-faithful default.
+	EnumeratorAuto
+)
+
+// String returns the flag-style name of the enumerator.
+func (e Enumerator) String() string {
+	switch e {
+	case EnumeratorBlitz:
+		return "blitz"
+	case EnumeratorCCP:
+		return "ccp"
+	case EnumeratorAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Enumerator(%d)", int(e))
+}
+
+// ParseEnumerator parses a -enumerator flag value.
+func ParseEnumerator(name string) (Enumerator, error) {
+	switch name {
+	case "blitz", "":
+		return EnumeratorBlitz, nil
+	case "ccp":
+		return EnumeratorCCP, nil
+	case "auto":
+		return EnumeratorAuto, nil
+	}
+	return 0, fmt.Errorf("core: unknown enumerator %q (want auto, blitz, or ccp)", name)
+}
+
+// ErrEnumeratorUnsupported is returned when EnumeratorCCP is requested for a
+// query outside its space: no join graph, a disconnected graph, a custom
+// estimator, the left-deep restriction, or an ablation flag.
+var ErrEnumeratorUnsupported = errors.New(
+	"core: EnumeratorCCP requires a connected join graph and the default bushy scan")
+
+// ccpEligible reports whether the CCP fill is exact for this (query,
+// options) pair: a connected join graph under the default bushy scan. The
+// ablation flags stay with the blitz scan they ablate.
+func (o Options) ccpEligible(q Query) bool {
+	return q.Graph != nil && q.Estimator == nil && !o.LeftDeep &&
+		!o.DisableNestedIfs && !o.DescendingSubsets &&
+		q.Graph.Connected(bitset.Full(len(q.Cards)))
+}
+
+// resolveEnumerator maps Auto to a concrete strategy and validates an
+// explicit CCP request. The connectivity probe is a bitset BFS —
+// allocation-free, O(n·diameter) — recomputed per call; the serving Engine
+// avoids even that on cache hits by memoizing connectivity in the canonical
+// fingerprint and resolving Auto before the cache lookup.
+func resolveEnumerator(q Query, o Options) (Enumerator, error) {
+	return o.ResolveEnumerator(o.ccpEligible(q))
+}
+
+// ResolveEnumerator maps Options.Enumerator to a concrete strategy given an
+// externally established CCP eligibility verdict: Blitz stays Blitz, an
+// explicit CCP request is validated against ccpEligible, and Auto picks CCP
+// exactly when eligible. The facade Engine calls this with connectivity
+// memoized in the canonical fingerprint so resolution on the serve path
+// never touches the join graph; Optimize itself derives eligibility from
+// the query. Both paths resolve identically by construction, which keeps
+// cache keys (which carry the resolved strategy) consistent with cold runs.
+func (o Options) ResolveEnumerator(ccpEligible bool) (Enumerator, error) {
+	switch o.Enumerator {
+	case EnumeratorBlitz:
+		return EnumeratorBlitz, nil
+	case EnumeratorCCP:
+		if !ccpEligible {
+			return 0, ErrEnumeratorUnsupported
+		}
+		return EnumeratorCCP, nil
+	case EnumeratorAuto:
+		if ccpEligible {
+			return EnumeratorCCP, nil
+		}
+		return EnumeratorBlitz, nil
+	}
+	return 0, fmt.Errorf("core: invalid Options.Enumerator %d", int(o.Enumerator))
+}
+
+// prepareCCP builds the connectivity bitmap and the sorted connected-subset
+// list for the current query, once per optimize call (threshold passes
+// reuse them; Reset invalidates). Both ride on the table so arena reuse
+// amortizes their allocation exactly like the DP columns; RetainedBytes
+// meters them. The enumeration is budget-checked every 1024 emissions.
+func (t *Table) prepareCCP(q Query, bg *budget) error {
+	if t.ccpN == t.n {
+		return nil
+	}
+	adj := ccp.GraphAdjacency(q.Graph)
+	words := ((1 << uint(t.n)) + 63) / 64
+	if cap(t.conn) < words {
+		t.conn = make([]uint64, words)
+	} else {
+		t.conn = t.conn[:words]
+		for i := range t.conn {
+			t.conn[i] = 0
+		}
+	}
+	t.csg = t.csg[:0]
+	var emitted uint64
+	halted := false
+	adj.EnumerateCsg(func(s bitset.Set) bool {
+		t.conn[s>>6] |= 1 << (uint(s) & 63)
+		if s&(s-1) != 0 {
+			t.csg = append(t.csg, s)
+		}
+		emitted++
+		if emitted&1023 == 0 && bg.halted() {
+			halted = true
+			return false
+		}
+		return true
+	})
+	if halted || bg.halted() {
+		bg.add(emitted)
+		return bg.exceeded(PhaseFill)
+	}
+	// Sort by (popcount, value): proper subsets precede supersets — the
+	// sparse analog of the numeric fill order — and the layered schedule's
+	// rank layers come out contiguous.
+	sort.Slice(t.csg, func(i, j int) bool {
+		ci, cj := t.csg[i].Count(), t.csg[j].Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return t.csg[i] < t.csg[j]
+	})
+	t.ccpN = t.n
+	return nil
+}
+
+// fillCostsCCPSerial is the serial CCP pass: findBestSplitCCP over the
+// sorted connected-subset list, with the same 1024-set budget stride and
+// fault-injection point as the serial blitz fill.
+func (t *Table) fillCostsCCPSerial(threshold float64, bg *budget) (Counters, error) {
+	var c Counters
+	for j, s := range t.csg {
+		if j&(budgetCheckStride-1) == 0 {
+			faultinject.Inject(faultinject.CoreFillLayer)
+			if bg.halted() {
+				bg.add(c.SubsetsVisited)
+				return c, bg.exceeded(PhaseFill)
+			}
+		}
+		c.SubsetsVisited++
+		t.findBestSplitCCP(s, threshold, &c)
+	}
+	return c, nil
+}
+
+// fillCostsCCPLayered is the parallel CCP pass: the connected-subset list's
+// rank layers (contiguous after prepareCCP's sort) are chunked across
+// workers with a barrier between layers, mirroring fillCostsLayered. Per-set
+// work is deterministic and order-independent within a layer, so the
+// schedule is bit-identical to the serial pass.
+func (t *Table) fillCostsCCPLayered(threshold float64, workers int, bg *budget) (Counters, error) {
+	if workers > len(t.workers) {
+		t.workers = make([]paddedCounters, workers)
+	}
+	for i := range t.workers {
+		t.workers[i].c = Counters{}
+	}
+	list := t.csg
+	for start := 0; start < len(list); {
+		k := list[start].Count()
+		end := start + 1
+		for end < len(list) && list[end].Count() == k {
+			end++
+		}
+		faultinject.Inject(faultinject.CoreFillLayer)
+		if bg.halted() {
+			break
+		}
+		t.runListLayer(list[start:end], workers, threshold, bg)
+		start = end
+	}
+	var total Counters
+	for w := 0; w < workers; w++ {
+		total.Add(t.workers[w].c)
+	}
+	if bg.halted() {
+		bg.add(total.SubsetsVisited)
+		return total, bg.exceeded(PhaseFill)
+	}
+	return total, nil
+}
+
+// runListLayer partitions one rank layer of the connected-subset list into
+// contiguous chunks and strides them across workers — the list-indexed
+// analog of runLayer, with the same ~4-chunks-per-worker target, chunk
+// fault-injection point, and budget checks.
+func (t *Table) runListLayer(layer []bitset.Set, workers int, threshold float64, bg *budget) {
+	chunk := len(layer) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nchunks := (len(layer) + chunk - 1) / chunk
+	work := func(w, ci int) {
+		if bg.halted() {
+			return
+		}
+		faultinject.Inject(faultinject.CoreFillChunk)
+		c := &t.workers[w].c
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(layer) {
+			hi = len(layer)
+		}
+		for j, s := range layer[lo:hi] {
+			if j&(budgetCheckStride-1) == 0 && j > 0 && bg.halted() {
+				return
+			}
+			c.SubsetsVisited++
+			t.findBestSplitCCP(s, threshold, c)
+		}
+	}
+	if workers == 1 || nchunks == 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			work(0, ci)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < nchunks; ci += workers {
+				work(w, ci)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// findBestSplitCCP is findBestSplit restricted to connected-complement
+// pairs: the caller guarantees s is connected, and two bitmap probes gate
+// each candidate pair before any cost load. Everything else — κ′ outside
+// the loop, threshold skip, strict prunes, both-orientation κ″ evaluation,
+// the smallest-LHS tie rule — is byte-for-byte the pair loops of
+// findBestSplit, so on any set whose blitz winner is a connected split the
+// two strategies write bit-identical slots.
+//
+// Counter semantics shift with the strategy: SubsetsVisited counts connected
+// non-singleton sets, and LoopIters counts the ordered csg–cmp splits
+// actually enumerated (2 per unordered pair) rather than the blitz scan's
+// analytic 2^|s|−2 — the quantity the speedup curve is made of
+// (ccp.CountCsgCmpPairs cross-checks it).
+func (t *Table) findBestSplitCCP(s bitset.Set, threshold float64, c *Counters) {
+	outCard := t.card[s]
+	kp := t.model.SplitIndep(outCard)
+	c.KpEvals++
+	if kp > threshold || math.IsInf(kp, 1) || math.IsNaN(kp) {
+		c.ThresholdSkips++
+		t.slot[s] = Slot{Cost: math.Inf(1)}
+		return
+	}
+	best := threshold - kp
+	bestLHS := bitset.Empty
+	slots := t.slot
+	conn := t.conn
+	mask := bitset.Set(len(slots)) - 1
+	_ = slots[s]
+	low := s & -s
+	rest := s ^ low
+	var iters, kppEvals, condHits uint64
+
+	if t.naive {
+		// Guarded form of findBestSplit's κ″ ≡ 0 pair loop: unordered pairs,
+		// ties to the numerically smaller side.
+		for sub := bitset.Set(0); ; sub = (sub - rest) & rest {
+			lhs := sub | low
+			if lhs == s {
+				break
+			}
+			if conn[lhs>>6]&(1<<(uint(lhs)&63)) == 0 {
+				continue
+			}
+			rhs := s ^ lhs
+			if conn[rhs>>6]&(1<<(uint(rhs)&63)) == 0 {
+				continue
+			}
+			iters += 2
+			lc := slots[lhs&mask].Cost
+			rc := slots[rhs&mask].Cost
+			if o := lc + rc; o <= best {
+				win := lhs
+				if rhs < lhs {
+					win = rhs
+				}
+				if o < best {
+					best = o
+					bestLHS = win
+					condHits++
+				} else if win < bestLHS {
+					bestLHS = win
+				}
+			}
+		}
+	} else {
+		// Guarded form of findBestSplit's default nested-if pair loop.
+		for sub := bitset.Set(0); ; sub = (sub - rest) & rest {
+			lhs := sub | low
+			if lhs == s {
+				break
+			}
+			if conn[lhs>>6]&(1<<(uint(lhs)&63)) == 0 {
+				continue
+			}
+			rhs := s ^ lhs
+			if conn[rhs>>6]&(1<<(uint(rhs)&63)) == 0 {
+				continue
+			}
+			iters += 2
+			lc := slots[lhs&mask].Cost
+			if lc > best {
+				continue
+			}
+			rc := slots[rhs&mask].Cost
+			if rc > best {
+				continue
+			}
+			oprnd := lc + rc
+			if oprnd > best {
+				continue
+			}
+			kppEvals++
+			if d := oprnd + t.splitDep(outCard, lhs, rhs); d < best || (d == best && lhs < bestLHS) {
+				if d < best {
+					condHits++
+				}
+				best = d
+				bestLHS = lhs
+			}
+			if oprnd > best {
+				continue
+			}
+			kppEvals++
+			if d := oprnd + t.splitDep(outCard, rhs, lhs); d < best || (d == best && rhs < bestLHS) {
+				if d < best {
+					condHits++
+				}
+				best = d
+				bestLHS = rhs
+			}
+		}
+	}
+
+	c.LoopIters += iters
+	c.KppEvals += kppEvals
+	c.CondHits += condHits
+	if bestLHS == 0 {
+		t.slot[s] = Slot{Cost: math.Inf(1)}
+		return
+	}
+	t.slot[s] = Slot{Cost: best + kp, BestLHS: uint32(bestLHS)}
+}

@@ -143,6 +143,15 @@ type Options struct {
 	// as long as the Result lives. Callers that only want the plan should
 	// set DiscardTable (the measurement harness does).
 	DiscardTable bool
+	// Enumerator selects the exact fill strategy: the paper's 3^n split scan
+	// over every bipartition (EnumeratorBlitz, the zero value), the
+	// connected-complement-pair restriction (EnumeratorCCP), or per-query
+	// topology-aware selection (EnumeratorAuto). CCP is exact over the
+	// Cartesian-product-free bushy space and requires a connected join graph
+	// under the default bushy scan; requesting it for any other query makes
+	// Optimize return ErrEnumeratorUnsupported. See the Enumerator constants
+	// for the search-space caveat Auto accepts.
+	Enumerator Enumerator
 	// Arena, when non-nil, supplies and reclaims the DP table: Optimize
 	// checks a pooled table out instead of allocating, and returns it on
 	// every path that does not hand the table to the caller — validation and
@@ -285,6 +294,13 @@ func OptimizeWith(t *Table, q Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve Auto to a concrete strategy (and validate an explicit CCP
+	// request) up front, so the fill passes below see only Blitz or CCP.
+	enum, err := resolveEnumerator(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Enumerator = enum
 	n := len(q.Cards)
 	// Memory admission control: reject before allocating rather than OOM
 	// after. The footprint formula is exact for the table's columns.

@@ -1,4 +1,4 @@
-package core
+package core_test
 
 // Benchmarks for the rank-layer parallel fill (satellite of the parallelism
 // PR). Each sub-benchmark reuses one Table across iterations via OptimizeWith
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"testing"
 
+	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/workload"
@@ -33,15 +34,15 @@ func benchParallelCases() []workload.Case {
 
 func BenchmarkParallelFill(b *testing.B) {
 	for _, c := range benchParallelCases() {
-		q := Query{Cards: c.Cards, Graph: c.Graph}
+		q := core.Query{Cards: c.Cards, Graph: c.Graph}
 		for _, workers := range []int{1, 2, 4, 8} {
-			opts := Options{Model: c.Model, Parallelism: workers, DiscardTable: true}
+			opts := core.Options{Model: c.Model, Parallelism: workers, DiscardTable: true}
 			b.Run(fmt.Sprintf("%s/workers=%d", c.Name, workers), func(b *testing.B) {
-				tbl := NewTable(c.N, c.Graph != nil, c.Model)
+				tbl := core.NewTable(c.N, c.Graph != nil, c.Model)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := OptimizeWith(tbl, q, opts); err != nil {
+					if _, err := core.OptimizeWith(tbl, q, opts); err != nil {
 						b.Fatal(err)
 					}
 				}

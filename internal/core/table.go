@@ -66,6 +66,17 @@ type Table struct {
 	// neighbouring workers never share a cache line).
 	chunks  []bitset.Set
 	workers []paddedCounters
+
+	// CCP fill state (Options.Enumerator == EnumeratorCCP): conn is the
+	// 2^n-bit connectivity bitmap, csg the non-singleton connected subsets
+	// sorted by (popcount, value), ccpN the relation count they were built
+	// for — −1 when stale. Reset invalidates; prepareCCP rebuilds once per
+	// query, so threshold re-passes reuse both. Under a CCP fill the slots
+	// of disconnected subsets are never written (nor read: the guarded
+	// split loop and ExtractPlan only touch connected sets).
+	conn []uint64
+	csg  []bitset.Set
+	ccpN int
 }
 
 // paddedCounters separates per-worker counters onto distinct cache lines.
@@ -115,6 +126,7 @@ func (t *Table) Reset(n int, hasGraph bool, model cost.Model) {
 	if _, ok := model.(cost.Naive); ok {
 		t.naive = true
 	}
+	t.ccpN = -1
 }
 
 func growFloats(s []float64, size int) []float64 {
@@ -142,7 +154,9 @@ func (t *Table) RetainedBytes() uint64 {
 		uint64(cap(t.memo))*8 +
 		uint64(cap(t.slot))*slotBytes +
 		uint64(cap(t.chunks))*8 +
-		uint64(cap(t.workers))*workerBytes
+		uint64(cap(t.workers))*workerBytes +
+		uint64(cap(t.conn))*8 +
+		uint64(cap(t.csg))*8
 }
 
 // ScratchColumns reconfigures the table for an n-relation dynamic program
@@ -204,6 +218,10 @@ func (t *Table) initProperties(q Query, workers int, bg *budget) error {
 	if bg.halted() {
 		return bg.exceeded(PhaseProperties)
 	}
+	// A new query invalidates any CCP connectivity state, even at the same n
+	// (the graph may differ). Reset also does this; repeating it here covers
+	// callers that reuse a table through InitProperties directly.
+	t.ccpN = -1
 	// init_singleton for each relation (§3.2).
 	for i := 0; i < t.n; i++ {
 		s := bitset.Single(i)
@@ -313,6 +331,15 @@ func (t *Table) fillCosts(q Query, opts Options, threshold float64, bg *budget) 
 	}
 	for i := 0; i < t.n; i++ {
 		t.slot[bitset.Single(i)] = Slot{}
+	}
+	if opts.Enumerator == EnumeratorCCP {
+		if err := t.prepareCCP(q, bg); err != nil {
+			return Counters{}, err
+		}
+		if w := opts.workers(); w > 0 {
+			return t.fillCostsCCPLayered(threshold, w, bg)
+		}
+		return t.fillCostsCCPSerial(threshold, bg)
 	}
 	if w := opts.workers(); w > 0 {
 		return t.fillCostsLayered(opts, threshold, w, bg)

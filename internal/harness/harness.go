@@ -47,6 +47,7 @@ func options(c workload.Case) core.Options {
 		Model:         c.Model,
 		CostThreshold: c.Threshold,
 		Parallelism:   c.Parallelism,
+		Enumerator:    c.Enumerator,
 		DiscardTable:  true,
 	}
 }

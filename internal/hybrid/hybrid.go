@@ -24,6 +24,7 @@ import (
 
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/ccp"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/faultinject"
@@ -136,6 +137,15 @@ type IDPOptions struct {
 	// cancellation — so a deadline-aborted IDP never strands a checkout
 	// (the ladder leak the arena was introduced to fix).
 	Arena *core.Arena
+	// Enumerator selects each round's split enumeration. With EnumeratorCCP
+	// or EnumeratorAuto a round whose contracted unit graph is connected
+	// restricts the bounded DP to connected-complement pairs — the CCP
+	// restriction applied locally, skipping Cartesian splits the unit graph
+	// never needs. Rounds without a graph or with a disconnected unit graph
+	// fall back to the full scan: the hybrid is heuristic, so unlike
+	// core.Optimize an explicit CCP request here degrades instead of
+	// erroring. The default (EnumeratorBlitz) scans every bipartition.
+	Enumerator core.Enumerator
 }
 
 // ctxErr reports the context's error, nil when no context is set.
@@ -185,7 +195,7 @@ func IDP(cards []float64, g *joingraph.Graph, m cost.Model, opts IDPOptions) (*R
 		if len(units) < block {
 			block = len(units)
 		}
-		best, count, err := boundedDP(units, g, m, block, &sc)
+		best, count, err := boundedDP(units, g, m, block, opts.Enumerator, &sc)
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +231,7 @@ type dpScratch struct {
 	slots  []core.Slot
 	sel    [][]float64
 	bySize [][]bitset.Set
+	adj    ccp.Adjacency // unit-graph adjacency under a CCP enumerator
 }
 
 // resize readies the scratch for u units and the given block, reusing
@@ -265,16 +276,54 @@ func (sc *dpScratch) resize(u, block int) {
 	}
 }
 
+// unitAdjacency builds the contracted unit graph into the scratch: units are
+// adjacent exactly when some join edge spans their relation sets, so
+// connectivity over units coincides with connectivity of the underlying
+// relations under contraction.
+func (sc *dpScratch) unitAdjacency(units []unit, g *joingraph.Graph) ccp.Adjacency {
+	u := len(units)
+	if cap(sc.adj) >= u {
+		sc.adj = sc.adj[:u]
+	} else {
+		sc.adj = make(ccp.Adjacency, u)
+	}
+	for i := range units {
+		var frontier bitset.Set
+		units[i].tree.Set.ForEach(func(r int) { frontier |= g.Neighbors(r) })
+		var nb bitset.Set
+		for j := range units {
+			if j != i && frontier&units[j].tree.Set != 0 {
+				nb = nb.Add(j)
+			}
+		}
+		sc.adj[i] = nb
+	}
+	return sc.adj
+}
+
 // boundedDP runs the blitzsplit DP over subsets of at most `block` units and
 // returns the best block-sized compound unit (or the full plan when block
 // covers every unit). Subsets are keyed by bitsets over *unit indexes*; the
 // tables live in sc and are reused across rounds.
-func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dpScratch) (unit, uint64, error) {
+func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, enum core.Enumerator, sc *dpScratch) (unit, uint64, error) {
 	u := len(units)
 	if u > bitset.MaxRelations {
 		return unit{}, 0, fmt.Errorf("hybrid: %d units exceed the bitset capacity", u)
 	}
 	sc.resize(u, block)
+	// Under a CCP enumerator, build the contracted unit graph (units adjacent
+	// when any join edge spans their relation sets) and, when it is
+	// connected, restrict this round's DP to connected-complement pairs. A
+	// non-nil unitAdj is the guard's switch; per-subset BFS connectivity is
+	// cheap at block ≤ 10 and a connected unit graph always contains a
+	// connected subset of every size, so the round's winner always exists.
+	var unitAdj ccp.Adjacency
+	if enum != core.EnumeratorBlitz && g != nil {
+		unitAdj = sc.unitAdjacency(units, g)
+		if !unitAdj.Connected(bitset.Full(u)) {
+			unitAdj = nil
+		}
+	}
 	// Pairwise selectivities between units.
 	sel := sc.sel
 	for i := range sel {
@@ -321,11 +370,22 @@ func boundedDP(units []unit, g *joingraph.Graph, m cost.Model, block int, sc *dp
 			fan := 1.0
 			rest.ForEach(func(j int) { fan *= sel[mi][j] })
 			card := cardT[bitset.Single(mi)] * cardT[rest] * fan
+			if unitAdj != nil && !unitAdj.Connected(s) {
+				// Cartesian-only subset: excluded from the CP-free space. The
+				// Inf slot must be written (not skipped) — the winner scan and
+				// reused scratch would otherwise read stale garbage.
+				cardT[s] = card
+				slotT[s] = core.Slot{Cost: math.Inf(1)}
+				continue
+			}
 			best := math.Inf(1)
 			var bestLHS bitset.Set
 			for l := s.MinSet(); l != s; l = s.NextSubset(l) {
-				considered++
 				r := s ^ l
+				if unitAdj != nil && (!unitAdj.Connected(l) || !unitAdj.Connected(r)) {
+					continue
+				}
+				considered++
 				lc, rc := slotT[l].Cost, slotT[r].Cost
 				if lc+rc >= best {
 					continue

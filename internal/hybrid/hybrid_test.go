@@ -240,3 +240,104 @@ func TestGreedyCartesianOnly(t *testing.T) {
 		t.Errorf("greedy did not product the smallest pair first:\n%s", res.Plan)
 	}
 }
+
+// TestIDPEnumeratorCCPExact: with the block covering every unit, boundedDP
+// under a CCP enumerator is an exact optimizer of the Cartesian-product-free
+// space — on a chain (where no product can help) its cost must match the
+// core CCP enumerator's optimum.
+func TestIDPEnumeratorCCPExact(t *testing.T) {
+	const n = 12
+	cards, g := chainQuery(n, 300)
+	m := cost.NewDiskNestedLoops()
+	idp, err := IDP(cards, g, m, IDPOptions{K: n, Enumerator: core.EnumeratorCCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.Optimize(core.Query{Cards: cards, Graph: g},
+		core.Options{Model: m, Enumerator: core.EnumeratorCCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(idp.Cost, exact.Cost) > 1e-9 {
+		t.Errorf("IDP/CCP K=n cost %v, core CCP optimum %v", idp.Cost, exact.Cost)
+	}
+	if err := idp.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIDPEnumeratorCCPBounded: the CCP guard in bounded rounds skips
+// Cartesian splits (fewer splits costed than the full scan) and still emits
+// a valid, cost-consistent full plan.
+func TestIDPEnumeratorCCPBounded(t *testing.T) {
+	const n, k = 16, 6
+	cards, g := chainQuery(n, 250)
+	m := cost.NewDiskNestedLoops()
+	full, err := IDP(cards, g, m, IDPOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccpRes, err := IDP(cards, g, m, IDPOptions{K: k, Enumerator: core.EnumeratorCCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccpRes.Considered >= full.Considered {
+		t.Errorf("CCP rounds costed %d splits, full scan %d — guard had no effect",
+			ccpRes.Considered, full.Considered)
+	}
+	if err := ccpRes.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ccpRes.Plan.Set != bitset.Full(n) {
+		t.Fatalf("coverage %v", ccpRes.Plan.Set)
+	}
+	cp := ccpRes.Plan.Clone()
+	cp.RecomputeCards(g, cards)
+	if got := cp.RecomputeCost(m); relDiff(got, ccpRes.Cost) > 1e-9 {
+		t.Errorf("reported %v, recomputed %v", ccpRes.Cost, got)
+	}
+}
+
+// TestIDPEnumeratorDisconnectedFallback: a disconnected graph is ineligible
+// for the CCP restriction, so unlike core.Optimize the hybrid must not error
+// — rounds whose unit graph is disconnected fall back to the full scan (a
+// round can become connected after an earlier round merges components, so
+// per-round eligibility, not whole-query eligibility, governs the guard).
+// The result must be a valid, covering, cost-consistent plan either way.
+func TestIDPEnumeratorDisconnectedFallback(t *testing.T) {
+	cards := []float64{50, 60, 70, 80, 90, 100}
+	g := joingraph.Build([]joingraph.Pair{{0, 1}, {1, 2}, {3, 4}, {4, 5}}, cards)
+	m := cost.NewDiskNestedLoops()
+	for _, e := range []core.Enumerator{core.EnumeratorCCP, core.EnumeratorAuto} {
+		res, err := IDP(cards, g, m, IDPOptions{K: 4, Enumerator: e})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if res.Plan.Set != bitset.Full(len(cards)) {
+			t.Fatalf("%v: coverage %v", e, res.Plan.Set)
+		}
+		cp := res.Plan.Clone()
+		cp.RecomputeCards(g, cards)
+		if got := cp.RecomputeCost(m); relDiff(got, res.Cost) > 1e-9 {
+			t.Errorf("%v: reported %v, recomputed %v", e, res.Cost, got)
+		}
+	}
+	// Round 1's unit graph is disconnected, so its full scan runs unguarded:
+	// the first collapse must succeed exactly as the default's does.
+	def, err := IDP(cards, g, m, IDPOptions{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := IDP(cards, g, m, IDPOptions{K: 6, Enumerator: core.EnumeratorCCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K = 6 covers all units in one round, so the whole run is one
+	// disconnected-graph round: results must be bit-identical.
+	if one.Cost != def.Cost || one.Considered != def.Considered || !one.Plan.Equal(def.Plan) {
+		t.Error("single disconnected round diverged from the default scan")
+	}
+}

@@ -109,6 +109,22 @@ func CliqueEdges(n int) []Pair {
 	return out
 }
 
+// TreeEdges returns a balanced binary tree over n relations: relation i ≥ 1
+// hangs off relation (i−1)/2. Trees sit between the chain and the star in
+// connected-subset count, making them the third point of the enumerator
+// speedup curve (`blitzbench -exp enumerators`); the paper's four topologies
+// do not include one.
+func TreeEdges(n int) []Pair {
+	if n < 2 {
+		return nil
+	}
+	out := make([]Pair, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, Pair{(i - 1) / 2, i})
+	}
+	return out
+}
+
 // GridEdges returns a rows×cols grid graph (an extension beyond the paper's
 // four topologies, useful for ablation studies). Relation r*cols+c sits at
 // grid position (r, c).
@@ -215,11 +231,23 @@ func CardinalityLadder(n int, mean, variability float64) []float64 {
 // degenerate corners (e.g. all cardinalities 1, where the formula yields
 // exactly 1 anyway).
 func Build(pairs []Pair, cards []float64) *Graph {
-	n := len(cards)
-	g := New(n)
+	g := New(len(cards))
 	if len(pairs) == 0 {
 		return g
 	}
+	sels := EdgeSelectivities(pairs, cards)
+	for i, p := range pairs {
+		g.MustAddEdge(p[0], p[1], sels[i])
+	}
+	return g
+}
+
+// EdgeSelectivities computes the Appendix selectivity of each edge — the
+// formula Build assigns — without constructing a Graph, so callers past the
+// bitset.MaxRelations cap (the sparse ccp optimizer's Wide graphs) can reuse
+// the same construction. sels[i] corresponds to pairs[i].
+func EdgeSelectivities(pairs []Pair, cards []float64) []float64 {
+	n := len(cards)
 	deg := make([]int, n)
 	for _, p := range pairs {
 		deg[p[0]]++
@@ -234,7 +262,8 @@ func Build(pairs []Pair, cards []float64) *Graph {
 	}
 	logMu /= float64(n)
 	k := float64(len(pairs))
-	for _, p := range pairs {
+	sels := make([]float64, len(pairs))
+	for i, p := range pairs {
 		a, b := p[0], p[1]
 		logSel := logMu/k - math.Log(cards[a])/float64(deg[a]) - math.Log(cards[b])/float64(deg[b])
 		sel := math.Exp(logSel)
@@ -244,9 +273,9 @@ func Build(pairs []Pair, cards []float64) *Graph {
 		if sel <= 0 {
 			sel = math.SmallestNonzeroFloat64
 		}
-		g.MustAddEdge(a, b, sel)
+		sels[i] = sel
 	}
-	return g
+	return sels
 }
 
 // BuildUniform constructs a graph with the given edges, all carrying the same

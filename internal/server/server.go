@@ -83,6 +83,12 @@ type Config struct {
 	// MaxRelations rejects larger queries with 422 before any work; 0
 	// selects bitset.MaxRelations (the representation's hard limit, 30).
 	MaxRelations int
+	// Enumerator selects the exact fill strategy for every request
+	// (WithEnumerator): the zero value is the paper's 3^n blitz scan,
+	// EnumeratorAuto picks the csg–cmp fill on connected join graphs. An
+	// explicit EnumeratorCCP makes requests with disconnected graphs fail
+	// with 422 (no Cartesian-product-free plan space exists for them).
+	Enumerator blitzsplit.Enumerator
 	// MemBudget is the per-request DP-table byte budget (WithMemoryBudget).
 	// 0 ties it to the engine arena's byte budget — a table the arena could
 	// never pool should not be admitted either. The deadline ladder turns a
@@ -293,6 +299,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	options := []blitzsplit.Option{
 		blitzsplit.WithDeadlineLadder(),
 		blitzsplit.WithMemoryBudget(s.cfg.MemBudget),
+		blitzsplit.WithEnumerator(s.cfg.Enumerator),
 	}
 	if req.Model != "" {
 		options = append(options, blitzsplit.WithCostModel(req.Model))
@@ -359,6 +366,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, core.ErrNoPlan):
 			// No plan fits inside the float32 overflow limit: the query is
 			// well-formed but unanswerable as posed.
+			code = http.StatusUnprocessableEntity
+		case errors.Is(err, blitzsplit.ErrEnumeratorUnsupported):
+			// The server was pinned to the CCP enumerator and this query's
+			// graph is outside its plan space — a property of the request,
+			// not a server fault.
 			code = http.StatusUnprocessableEntity
 		case errors.Is(err, core.ErrBudgetExceeded):
 			// Only explicit cancellation reaches here — the ladder absorbs

@@ -512,3 +512,40 @@ func TestServerStressCoalesce(t *testing.T) {
 		t.Errorf("arena leak: %d live tables", live)
 	}
 }
+
+// A server pinned to the CCP enumerator serves connected queries normally
+// and answers disconnected ones with 422 — such a query has no
+// Cartesian-product-free plan at all, which is a property of the request,
+// not a server fault. Auto never 422s: it falls back to the blitz scan and
+// must agree with a default server bit for bit.
+func TestEnumeratorConfig(t *testing.T) {
+	disconnected := `{"relations":[{"name":"A","cardinality":100},{"name":"B","cardinality":200},` +
+		`{"name":"C","cardinality":300},{"name":"D","cardinality":400}],` +
+		`"joins":[{"a":"A","b":"B","selectivity":0.01},{"a":"C","b":"D","selectivity":0.02}]}`
+
+	_, ccp := newTestServer(t, Config{Enumerator: blitzsplit.EnumeratorCCP})
+	code, body := postOptimize(t, ccp.URL, chainBody(6, 1000))
+	if code != http.StatusOK {
+		t.Fatalf("connected query on a CCP server: %d\n%s", code, body)
+	}
+	code, body = postOptimize(t, ccp.URL, disconnected)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("disconnected query on a CCP server: %d, want 422\n%s", code, body)
+	}
+
+	_, auto := newTestServer(t, Config{Enumerator: blitzsplit.EnumeratorAuto})
+	code, body = postOptimize(t, auto.URL, disconnected)
+	if code != http.StatusOK {
+		t.Fatalf("disconnected query on an Auto server: %d\n%s", code, body)
+	}
+	got := decodeResponse(t, body)
+	_, def := newTestServer(t, Config{})
+	code, body = postOptimize(t, def.URL, disconnected)
+	if code != http.StatusOK {
+		t.Fatalf("disconnected query on a default server: %d\n%s", code, body)
+	}
+	want := decodeResponse(t, body)
+	if got.Cost != want.Cost || got.Expression != want.Expression {
+		t.Fatalf("Auto fallback diverged from the blitz default:\n%+v\nvs\n%+v", got, want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/stats"
@@ -44,6 +45,9 @@ type Case struct {
 	// Parallelism is the optimizer worker count: 0 runs the paper's serial
 	// fill, w ≥ 1 the rank-layer parallel fill (core.Options.Parallelism).
 	Parallelism int
+	// Enumerator selects the exact fill strategy (core.Options.Enumerator):
+	// the zero value is the paper's 3^n blitz scan.
+	Enumerator core.Enumerator
 }
 
 // MeanCardGrid returns the Appendix mean-cardinality axis: logarithmic

@@ -119,6 +119,7 @@ func (e *Engine) runLadder(cq core.Query, cfg config, ctx context.Context) (*out
 			Stochastic: baseline.StochasticOptions{Seed: 1},
 			Ctx:        rctx,
 			Arena:      e.arena,
+			Enumerator: cfg.opts.Enumerator,
 		})
 		cancel()
 		if herr == nil {

@@ -88,6 +88,25 @@ func WithLeftDeep() Option {
 	}
 }
 
+// WithEnumerator selects the exact fill strategy: EnumeratorBlitz (the
+// paper's 3^n split scan, the default), EnumeratorCCP (the DPccp-style
+// connected-complement-pair restriction — exact over the
+// Cartesian-product-free space, requires a connected join graph), or
+// EnumeratorAuto (CCP when the query is eligible, blitz otherwise). See the
+// Enumerator constants for the search-space caveat Auto accepts. The engine
+// resolves Auto per query before its cache lookup, so plans optimized under
+// different strategies never alias in the plan cache.
+func WithEnumerator(e Enumerator) Option {
+	return func(c *config) error {
+		switch e {
+		case EnumeratorBlitz, EnumeratorCCP, EnumeratorAuto:
+			c.opts.Enumerator = e
+			return nil
+		}
+		return errors.New("blitzsplit: invalid enumerator")
+	}
+}
+
 // WithParallelism fills the DP table with w parallel workers. The table's
 // rank layers (subsets of equal popcount) depend only on lower layers, so
 // each layer is partitioned across workers; plans, costs and counters are

@@ -17,11 +17,11 @@ BENCH_GATE_THRESHOLD ?= 1.6
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/plancache ./internal/server ./internal/telemetry
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/plancache ./internal/server ./internal/snapshot ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-gate bench-gate-soft profile serve-smoke fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-chaos bench-gate bench-gate-soft profile serve-smoke chaos-smoke fuzz-smoke cover
 
-ci: fmt vet build test race stress cover fuzz-smoke serve-smoke bench-gate-soft
+ci: fmt vet build test race stress cover fuzz-smoke serve-smoke chaos-smoke bench-gate-soft
 
 # gofmt is the style gate: any file needing reformatting fails the build.
 fmt:
@@ -55,23 +55,25 @@ race:
 # shutdown and the cache/arena locking.
 stress:
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent|Canonicalizer|Enumerator' \
+		-run 'Budget|Cancel|Ladder|Leak|Deadline|Clamp|Engine|Cache|Arena|Concurrent|Canonicalizer|Enumerator|Snapshot|Quarantine|Panic' \
 		./internal/core/ ./internal/hybrid/ ./internal/plancache/ ./internal/canon/ .
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'EnumeratorAgree|CCP' \
 		./internal/check/ ./internal/ccp/
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Stress|Coalesc|Drain|Shed|Overload' \
-		./internal/server/ ./internal/telemetry/
+		-run 'Stress|Coalesc|Drain|Shed|Overload|Snapshot|Panic|Quarantine|Write|Probe' \
+		./internal/server/ ./internal/telemetry/ ./internal/snapshot/
 
 # Run every native fuzz target for FUZZTIME each, starting from the
-# checked-in corpora under internal/check/testdata/fuzz/. Go allows only one
-# -fuzz pattern per invocation, hence three runs.
+# checked-in corpora under internal/check/testdata/fuzz/ and
+# internal/plancache/testdata/fuzz/. Go allows only one -fuzz pattern per
+# invocation, hence one run per target.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzOptimize$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzSpecRoundTrip$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzBitset$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzEnumerators$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+	$(GO) test -fuzz='^FuzzSnapshotLoad$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/plancache/
 
 # Enforce the coverage floor on the optimizer core and the invariant
 # harness. A drop below COVER_MIN fails the build.
@@ -115,6 +117,12 @@ bench-hotpath:
 bench-enumerators:
 	$(GO) run ./cmd/blitzbench -exp enumerators -enum-frontier \
 		-enum-json BENCH_enumerators.json
+
+# Regenerate BENCH_chaos.json (see EXPERIMENTS.md): the crash-safety harness —
+# kill -9/restart cycles, snapshot corruption, and injected panics against a
+# real blitzd subprocess.
+bench-chaos:
+	$(GO) run ./cmd/blitzbench -exp chaos -chaos-json BENCH_chaos.json
 
 # The benchstat-style regression gate: re-measure the hot paths and compare
 # against the checked-in BENCH_hotpath.json. Fails (exit 1) when ns/op
@@ -165,3 +173,12 @@ serve-smoke:
 	wait $$pid || { echo "blitzd exited nonzero after SIGTERM"; exit 1; }; \
 	grep -q "drained, bye" /tmp/blitzd-smoke.log || { echo "no drain farewell in log"; exit 1; }; \
 	echo "serve-smoke: OK"
+
+# Crash-safety smoke: the full chaos experiment (kill -9/restart warm-hit
+# cycles, snapshot corruption, injected panics) against a real blitzd
+# subprocess. The harness fails loudly if the warm hit rate after a hard kill
+# drops below 90%, if a corrupt snapshot breaks serving, or if an injected
+# panic escapes quarantine — so running it IS the assertion.
+chaos-smoke:
+	$(GO) run ./cmd/blitzbench -exp chaos -quiet
+	@echo "chaos-smoke: OK"

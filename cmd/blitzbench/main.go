@@ -16,6 +16,7 @@
 //	blitzbench -exp serve              # closed-loop load against the blitzd stack
 //	blitzbench -exp hotpath            # serve hot paths: cache hit + cold fill, before/after
 //	blitzbench -exp enumerators        # 3^n scan vs csg–cmp enumerator: speedup by topology
+//	blitzbench -exp chaos              # crash safety: kill -9/corrupt/panic a real blitzd
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -32,6 +33,7 @@
 //	-serve-json p   write the -exp serve measurement artifact (BENCH_serve.json) to p
 //	-hotpath-json p write the -exp hotpath measurement artifact (BENCH_hotpath.json) to p
 //	-enum-json p    write the -exp enumerators artifact (BENCH_enumerators.json) to p
+//	-chaos-json p   write the -exp chaos artifact (BENCH_chaos.json) to p
 //	-enum-frontier  include the -exp enumerators large points (n=25 clique, n=40 tree; slow)
 //	-gate p         gate -exp hotpath against the artifact at p; regressions exit 1
 //	-gate-threshold f  allowed ns/op ratio over the gate baseline (default 1.6)
@@ -78,7 +80,7 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|chaos|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
@@ -92,6 +94,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 	hotpathJSON := fs.String("hotpath-json", "", "write the -exp hotpath measurement artifact to this path")
 	enumJSON := fs.String("enum-json", "", "write the -exp enumerators measurement artifact to this path")
 	enumFrontier := fs.Bool("enum-frontier", false, "include the -exp enumerators large points (n=25 clique dense, n=40 tree sparse; slow)")
+	chaosJSON := fs.String("chaos-json", "", "write the -exp chaos measurement artifact to this path")
 	gateJSON := fs.String("gate", "", "gate -exp hotpath against the artifact at this path; regressions exit 1")
 	gateThreshold := fs.Float64("gate-threshold", 0, "allowed ns/op ratio over the -gate baseline (0 = default 1.6)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
@@ -173,6 +176,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 		GateThreshold: *gateThreshold,
 		EnumJSON:      *enumJSON,
 		EnumFrontier:  *enumFrontier,
+		ChaosJSON:     *chaosJSON,
 	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(errOut, "blitzbench:", err)

@@ -20,6 +20,9 @@
 //	-arena-bytes b    DP-table arena byte budget (0 = 256MiB default)
 //	-quantum q        selectivity quantum for cache sharing (0 = exact)
 //	-drain-timeout d  grace period for in-flight requests on shutdown (10s)
+//	-snapshot p       plan-cache snapshot file for warm restarts (empty = off)
+//	-snapshot-interval d  periodic snapshot cadence (30s)
+//	-panic-every n    chaos: panic the optimizer on every nth cold run (0 = off)
 //	-version          print version and build info, then exit
 //
 // Endpoints: POST /v1/optimize, GET /metrics, GET /debug/vars, GET /healthz,
@@ -40,7 +43,19 @@
 //
 // On SIGTERM or SIGINT blitzd drains gracefully: /readyz flips to 503, new
 // optimize requests are refused, in-flight requests run to completion (up to
-// -drain-timeout), then the process exits 0.
+// -drain-timeout), then — with -snapshot — a final plan-cache snapshot is
+// written before the process exits 0.
+//
+// With -snapshot, blitzd restores the file at startup (a corrupt or partial
+// snapshot restores what survives and serves cold for the rest; only an
+// unwritable snapshot *path* is fatal, exit 3) and rewrites it every
+// -snapshot-interval. SIGHUP takes a manual snapshot on demand. Kill blitzd
+// however hard you like: the atomic write protocol means the file is always a
+// complete snapshot from some recent instant, and the next start comes up
+// warm.
+//
+// Exit codes: 0 clean exit, 1 runtime error (listen failure, drain cut
+// short), 2 usage, 3 unwritable -snapshot path at startup.
 package main
 
 import (
@@ -53,12 +68,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"blitzsplit"
 	"blitzsplit/internal/buildinfo"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/server"
+	"blitzsplit/internal/snapshot"
 	"blitzsplit/internal/units"
 )
 
@@ -66,11 +84,16 @@ const (
 	exitOK    = 0
 	exitError = 1
 	exitUsage = 2
+	// exitSnapshot distinguishes a dead-on-arrival snapshot configuration —
+	// the -snapshot path cannot be written at startup — from runtime errors:
+	// an operator typo must fail loudly, while a corrupt snapshot *file* is
+	// logged, skipped, and served past.
+	exitSnapshot = 3
 )
 
 func main() {
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
 	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr, sigs))
 }
 
@@ -92,6 +115,9 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	arenaBytes := fs.String("arena-bytes", "", "DP-table arena byte budget (empty = 256MiB default)")
 	quantum := fs.Float64("quantum", 0, "selectivity quantum for cache sharing (0 = exact, bit-identical hits)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	snapshotPath := fs.String("snapshot", "", "plan-cache snapshot file for warm restarts (empty = off)")
+	snapshotInterval := fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = 30s)")
+	panicEvery := fs.Uint64("panic-every", 0, "chaos: panic the optimizer on every nth cold run (0 = off)")
 	version := fs.Bool("version", false, "print version and build info, then exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -107,13 +133,15 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		return exitUsage
 	}
 	cfg := server.Config{
-		MaxInFlight:    *maxInFlight,
-		AdmissionWait:  *admissionWait,
-		RequestTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxRelations:   *maxN,
-		Enumerator:     enum,
-		EngineOptions:  blitzsplit.EngineOptions{SelectivityQuantum: *quantum},
+		MaxInFlight:      *maxInFlight,
+		AdmissionWait:    *admissionWait,
+		RequestTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxRelations:     *maxN,
+		Enumerator:       enum,
+		EngineOptions:    blitzsplit.EngineOptions{SelectivityQuantum: *quantum},
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: *snapshotInterval,
 	}
 	for _, b := range []struct {
 		flag string
@@ -135,7 +163,39 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		*b.dst = v
 	}
 
+	if *panicEvery > 0 {
+		// Deterministic chaos: every nth cold optimization panics at the
+		// engine's fault point, exercising the recover → 500 → quarantine
+		// machinery from the outside (blitzbench -exp chaos drives this).
+		var n atomic.Uint64
+		every := *panicEvery
+		faultinject.Set(faultinject.EngineOptimize, func() {
+			if n.Add(1)%every == 0 {
+				panic(fmt.Sprintf("blitzd: injected chaos panic (-panic-every %d)", every))
+			}
+		})
+		fmt.Fprintf(out, "blitzd: chaos mode: panicking every %d cold optimizations\n", every)
+	}
+
 	srv := server.New(cfg)
+	if *snapshotPath != "" {
+		// An unwritable snapshot path is an operator error worth dying over —
+		// silently serving without persistence would defeat the warm-restart
+		// contract. Probe before listening so the failure is immediate.
+		if err := snapshot.Probe(*snapshotPath); err != nil {
+			fmt.Fprintf(errOut, "blitzd: -snapshot path not writable: %v\n", err)
+			return exitSnapshot
+		}
+		// A corrupt or partial snapshot file, by contrast, is logged and
+		// served past: whatever restores is warm, the rest comes back cold.
+		ls, err := srv.RestoreSnapshot()
+		if err != nil {
+			fmt.Fprintf(errOut, "blitzd: snapshot restore failed (serving cold): %v\n", err)
+		} else {
+			fmt.Fprintf(out, "blitzd: snapshot restore: %v\n", ls)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(errOut, "blitzd:", err)
@@ -145,6 +205,11 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	// targets) it is how the caller learns the port.
 	fmt.Fprintf(out, "blitzd %s listening on %s\n", buildinfo.String(), ln.Addr())
 
+	stopSnapshots := srv.StartSnapshots(func(err error) {
+		fmt.Fprintln(errOut, "blitzd: periodic snapshot failed:", err)
+	})
+	defer stopSnapshots()
+
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -152,25 +217,48 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	select {
-	case sig := <-sigs:
-		fmt.Fprintf(out, "blitzd: %v: draining (readiness down, %v grace)\n", sig, *drainTimeout)
-		// Flip readiness first so load balancers stop routing here, then let
-		// the HTTP layer wait out the in-flight handlers.
-		srv.BeginDrain()
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(errOut, "blitzd: drain cut short:", err)
-			return exitError
+	for {
+		select {
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				// Manual snapshot on demand; the daemon keeps serving.
+				if ws, err := srv.SnapshotNow(); err != nil {
+					fmt.Fprintln(errOut, "blitzd: SIGHUP snapshot failed:", err)
+				} else {
+					fmt.Fprintf(out, "blitzd: SIGHUP snapshot: %d entries, %d bytes\n",
+						ws.Entries, ws.Bytes)
+				}
+				continue
+			}
+			fmt.Fprintf(out, "blitzd: %v: draining (readiness down, %v grace)\n", sig, *drainTimeout)
+			// Flip readiness first so load balancers stop routing here, then let
+			// the HTTP layer wait out the in-flight handlers.
+			srv.BeginDrain()
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(errOut, "blitzd: drain cut short:", err)
+				return exitError
+			}
+			// The cache is quiescent now — every handler has returned — so
+			// this final snapshot captures everything the run learned.
+			stopSnapshots()
+			if *snapshotPath != "" {
+				if ws, err := srv.SnapshotNow(); err != nil {
+					fmt.Fprintln(errOut, "blitzd: final snapshot failed:", err)
+				} else {
+					fmt.Fprintf(out, "blitzd: final snapshot: %d entries, %d bytes\n",
+						ws.Entries, ws.Bytes)
+				}
+			}
+			fmt.Fprintln(out, "blitzd: drained, bye")
+			return exitOK
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(errOut, "blitzd:", err)
+				return exitError
+			}
+			return exitOK
 		}
-		fmt.Fprintln(out, "blitzd: drained, bye")
-		return exitOK
-	case err := <-serveErr:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(errOut, "blitzd:", err)
-			return exitError
-		}
-		return exitOK
 	}
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/faultinject"
+)
+
+// startDaemon launches runMain on an ephemeral port with extra args and
+// returns the base URL, the signal channel, the exit channel, and the output
+// buffer.
+func startDaemon(t *testing.T, extra ...string) (base string, sigs chan os.Signal, done chan int, out *syncBuffer) {
+	t.Helper()
+	out = &syncBuffer{}
+	sigs = make(chan os.Signal, 2)
+	done = make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, extra...)
+	go func() { done <- runMain(args, out, io.Discard, sigs) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, " listening on ") {
+			rest := s[strings.Index(s, " listening on ")+len(" listening on "):]
+			return "http://" + strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0]), sigs, done, out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func stopDaemon(t *testing.T, sigs chan os.Signal, done chan int, out *syncBuffer) {
+	t.Helper()
+	sigs <- syscall.SIGTERM
+	select {
+	case exit := <-done:
+		if exit != exitOK {
+			t.Fatalf("exit = %d, want 0\n%s", exit, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon never exited\n%s", out.String())
+	}
+}
+
+const snapTestBody = `{"relations":[{"name":"A","cardinality":1000},{"name":"B","cardinality":5000},
+  {"name":"C","cardinality":200}],
+  "joins":[{"a":"A","b":"B","selectivity":0.001},{"a":"B","b":"C","selectivity":0.01}]}`
+
+func postBody(t *testing.T, base string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/optimize", "application/json", strings.NewReader(snapTestBody))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestSnapshotUnwritablePathExits: a bad -snapshot path is exit 3 before the
+// daemon ever listens.
+func TestSnapshotUnwritablePathExits(t *testing.T) {
+	var out, errOut bytes.Buffer
+	path := filepath.Join(t.TempDir(), "no-such-dir", "cache.snap")
+	got := runMain([]string{"-snapshot", path}, &out, &errOut, nil)
+	if got != exitSnapshot {
+		t.Fatalf("exit = %d, want %d\n%s", got, exitSnapshot, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "not writable") {
+		t.Errorf("stderr does not explain the failure:\n%s", errOut.String())
+	}
+	if strings.Contains(out.String(), "listening on") {
+		t.Error("daemon listened despite the unwritable snapshot path")
+	}
+}
+
+// TestSnapshotCorruptFileServesCold: a corrupt snapshot file is logged and
+// ignored; the daemon serves (cold) and exits 0.
+func TestSnapshotCorruptFileServesCold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := os.WriteFile(path, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, sigs, done, out := startDaemon(t, "-snapshot", path)
+	if code, b := postBody(t, base); code != http.StatusOK {
+		t.Fatalf("serve after corrupt restore: %d %s", code, b)
+	}
+	stopDaemon(t, sigs, done, out)
+	if s := out.String(); !strings.Contains(s, "snapshot restore: loaded 0") {
+		t.Errorf("restore line missing or wrong:\n%s", s)
+	}
+}
+
+// TestSnapshotLifecycle: the full warm-restart story at the daemon level —
+// serve, SIGHUP snapshot, drain (final snapshot), restart, warm hit.
+func TestSnapshotLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+
+	base, sigs, done, out := startDaemon(t, "-snapshot", path, "-snapshot-interval", "1h")
+	if code, b := postBody(t, base); code != http.StatusOK {
+		t.Fatalf("cold request: %d %s", code, b)
+	}
+
+	// SIGHUP takes a manual snapshot while serving continues.
+	sigs <- syscall.SIGHUP
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "SIGHUP snapshot") {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP snapshot never logged:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("SIGHUP produced no snapshot file: %v", err)
+	}
+	if code, _ := postBody(t, base); code != http.StatusOK {
+		t.Fatal("daemon stopped serving after SIGHUP")
+	}
+
+	stopDaemon(t, sigs, done, out)
+	if !strings.Contains(out.String(), "final snapshot") {
+		t.Errorf("no final snapshot on drain:\n%s", out.String())
+	}
+
+	// Restart on the same path: the first request must be a warm hit.
+	base2, sigs2, done2, out2 := startDaemon(t, "-snapshot", path)
+	code, b := postBody(t, base2)
+	if code != http.StatusOK {
+		t.Fatalf("warm request: %d %s", code, b)
+	}
+	if !strings.Contains(b, `"cached":true`) {
+		t.Errorf("restarted daemon served cold: %s", b)
+	}
+	stopDaemon(t, sigs2, done2, out2)
+}
+
+// TestPanicEveryFlag: -panic-every 1 makes every cold optimization fail 500,
+// and the daemon keeps running.
+func TestPanicEveryFlag(t *testing.T) {
+	defer faultinject.Reset() // the flag installs a global hook
+	base, sigs, done, out := startDaemon(t, "-panic-every", "1")
+	code, b := postBody(t, base)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500: %s", code, b)
+	}
+	if !strings.Contains(b, "injected chaos panic") {
+		t.Errorf("body does not surface the injected panic: %s", b)
+	}
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after panic: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	stopDaemon(t, sigs, done, out)
+}

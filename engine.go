@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/canon"
 	"blitzsplit/internal/core"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/hybrid"
 	"blitzsplit/internal/plancache"
 )
@@ -41,7 +43,18 @@ type EngineOptions struct {
 	// optimum for the quantized query — an approximation. 0 (the default)
 	// caches exactly: hits are bit-identical to cold optimizations.
 	SelectivityQuantum float64
+	// QuarantineThreshold is how many recovered optimizer panics a single
+	// cached query shape may cause before the engine quarantines it —
+	// refusing further requests for that shape with *QuarantineError instead
+	// of re-running a search known to crash. 0 selects the default of 3; a
+	// negative value disables quarantine (panics are still recovered and
+	// counted).
+	QuarantineThreshold int
 }
+
+// DefaultQuarantineThreshold is the panic count at which an engine
+// quarantines a query shape when EngineOptions.QuarantineThreshold is 0.
+const DefaultQuarantineThreshold = 3
 
 // Engine is a long-lived, concurrency-safe optimizer: the one-shot facade
 // rebuilt around two layers of reuse. A table arena pools the 2^n-element DP
@@ -58,6 +71,23 @@ type Engine struct {
 	// contend on one canonicalizer and a steady-state cache hit performs O(1)
 	// small allocations.
 	scratch sync.Pool
+	// panics counts optimizer panics recovered at the engine boundary;
+	// quarThreshold and quar implement the K-strike quarantine (crash.go).
+	panics        atomic.Uint64
+	quarThreshold int
+	quar          struct {
+		total       atomic.Uint64 // strikes ever recorded; 0 gates the fast path
+		mu          sync.Mutex
+		strikes     map[string]int
+		quarantined int // shapes at or past the threshold
+	}
+	// snap records the latest snapshot write and restore for Stats.
+	snap struct {
+		mu       sync.Mutex
+		last     SnapshotInfo
+		restore  plancache.LoadStats
+		restored bool
+	}
 }
 
 // serveScratch is the reusable per-Optimize state of the serve path: the
@@ -75,6 +105,13 @@ func New(opts EngineOptions) *Engine {
 		arena:   core.NewArena(opts.ArenaBytes),
 		quantum: opts.SelectivityQuantum,
 	}
+	switch {
+	case opts.QuarantineThreshold > 0:
+		e.quarThreshold = opts.QuarantineThreshold
+	case opts.QuarantineThreshold == 0:
+		e.quarThreshold = DefaultQuarantineThreshold
+	}
+	e.quar.strikes = make(map[string]int)
 	e.scratch.New = func() any { return new(serveScratch) }
 	if !opts.DisableCache {
 		e.cache = plancache.New(opts.CacheBytes, opts.CacheShards)
@@ -94,7 +131,8 @@ var defaultEngine = sync.OnceValue(func() *Engine {
 // package-level entry points.
 func Default() *Engine { return defaultEngine() }
 
-// EngineStats is a point-in-time snapshot of an engine's reuse layers.
+// EngineStats is a point-in-time snapshot of an engine's reuse layers and
+// crash-safety counters.
 type EngineStats struct {
 	// Cache aggregates the plan cache's shards; zero-valued when the cache
 	// is disabled.
@@ -102,15 +140,36 @@ type EngineStats struct {
 	// Arena describes the DP-table pool. Arena.Live is the number of tables
 	// currently checked out — 0 whenever no optimization is in flight.
 	Arena core.ArenaStats
+	// PanicsRecovered counts optimizer panics converted to *InternalError at
+	// the engine boundary; QuarantinedShapes is how many query shapes have
+	// hit the quarantine threshold and are being refused.
+	PanicsRecovered   uint64
+	QuarantinedShapes int
+	// LastSnapshot describes the most recent successful WriteSnapshot
+	// (zero-valued if none). Restore is the outcome of LoadSnapshot;
+	// Restored says whether one ran.
+	LastSnapshot SnapshotInfo
+	Restore      SnapshotLoadStats
+	Restored     bool
 }
 
-// Stats snapshots the engine's cache and arena counters.
+// Stats snapshots the engine's cache, arena, panic, quarantine, and snapshot
+// counters.
 func (e *Engine) Stats() EngineStats {
 	var st EngineStats
 	if e.cache != nil {
 		st.Cache = e.cache.Snapshot()
 	}
 	st.Arena = e.arena.Stats()
+	st.PanicsRecovered = e.panics.Load()
+	e.quar.mu.Lock()
+	st.QuarantinedShapes = e.quar.quarantined
+	e.quar.mu.Unlock()
+	e.snap.mu.Lock()
+	st.LastSnapshot = e.snap.last
+	st.Restore = e.snap.restore
+	st.Restored = e.snap.restored
+	e.snap.mu.Unlock()
 	return st
 }
 
@@ -127,7 +186,17 @@ func (e *Engine) Stats() EngineStats {
 // precedence); nil means no context budget. Budgets govern the cold path —
 // a cache hit costs microseconds and is served even when a cold run would
 // have been refused by WithMemoryBudget, since it allocates no table.
-func (e *Engine) Optimize(ctx context.Context, q *Query, options ...Option) (*Result, error) {
+//
+// A panic anywhere below this boundary — an optimizer bug, or an injected
+// fault — is recovered and returned as an *InternalError rather than
+// crashing the caller; a shape that panics repeatedly is quarantined (see
+// EngineOptions.QuarantineThreshold).
+func (e *Engine) Optimize(ctx context.Context, q *Query, options ...Option) (r *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r, err = nil, e.recordPanic(v, "")
+		}
+	}()
 	cfg, err := newConfig(options)
 	if err != nil {
 		return nil, err
@@ -178,6 +247,13 @@ func (e *Engine) optimizeQuery(cq core.Query, cfg config, names []string) (*Resu
 	}
 	cfg.opts.Enumerator = enum
 	sc.key = appendCacheKey(sc.key[:0], sc.canon.Fingerprint(), cfg.opts)
+	// A shape that has panicked the optimizer K times is refused before the
+	// cache is consulted: a quarantined shape must never serve a stale hit or
+	// re-run the crashing search.
+	if strikes, out := e.quarantineStrikes(sc.key); out {
+		e.scratch.Put(sc)
+		return nil, &QuarantineError{Strikes: strikes}
+	}
 	if ent, ok := e.cache.GetBytes(sc.key); ok {
 		// The hit path runs entirely out of scratch: the relabeled plan (one
 		// slab allocation) is the only state that outlives it. The outcome is
@@ -203,7 +279,7 @@ func (e *Engine) optimizeQuery(cq core.Query, cfg config, names []string) (*Resu
 	// Optimize the canonical query, not the caller's labeling, so the stored
 	// entry — and therefore every future hit, after relabeling — is
 	// bit-identical to this cold result.
-	o, err := e.run(cn.Query(), cfg)
+	o, err := e.runCold(cn.Query(), cfg, key)
 	if err != nil {
 		return nil, err
 	}
@@ -236,9 +312,22 @@ func (e *Engine) reanchor(o *outcome, cq core.Query, cfg config) {
 	o.cost = o.plan.RecomputeCost(cfg.model())
 }
 
+// runCold is run with the panic boundary that feeds quarantine: a panic in
+// the cold search is converted to *InternalError here, where the cache key is
+// still known, so the strike lands on the exact shape that crashed.
+func (e *Engine) runCold(cq core.Query, cfg config, key string) (o *outcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			o, err = nil, e.recordPanic(v, key)
+		}
+	}()
+	return e.run(cq, cfg)
+}
+
 // run executes one governed cold optimization: the plain exhaustive search,
 // or the degradation ladder under WithDeadlineLadder.
 func (e *Engine) run(cq core.Query, cfg config) (*outcome, error) {
+	faultinject.Inject(faultinject.EngineOptimize)
 	ctx, cancel := cfg.budgetContext()
 	defer cancel()
 	if !cfg.ladder {
@@ -318,7 +407,12 @@ func (q *Query) Optimize(options ...Option) (*Result, error) {
 // custom cardinality estimator instead of a binary join graph. Estimator
 // queries bypass the engine's plan cache: estimator state is opaque, so no
 // canonical fingerprint exists for it.
-func (e *Engine) OptimizeWithEstimator(ctx context.Context, cards []float64, est Estimator, options ...Option) (*Result, error) {
+func (e *Engine) OptimizeWithEstimator(ctx context.Context, cards []float64, est Estimator, options ...Option) (r *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r, err = nil, e.recordPanic(v, "")
+		}
+	}()
 	if est == nil {
 		return nil, errors.New("blitzsplit: nil estimator")
 	}
@@ -356,7 +450,12 @@ func OptimizeWithEstimator(cards []float64, est Estimator, options ...Option) (*
 // optimizer counters (the hybrid does not run the full blitzsplit table) and
 // is never cached. Plans are near-optimal, not guaranteed optimal; with
 // blockSize ≥ the relation count the result is the exact optimum.
-func (e *Engine) OptimizeLarge(ctx context.Context, q *Query, blockSize int, options ...Option) (*Result, error) {
+func (e *Engine) OptimizeLarge(ctx context.Context, q *Query, blockSize int, options ...Option) (r *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r, err = nil, e.recordPanic(v, "")
+		}
+	}()
 	cfg, err := newConfig(options)
 	if err != nil {
 		return nil, err
@@ -381,7 +480,7 @@ func (e *Engine) OptimizeLarge(ctx context.Context, q *Query, blockSize int, opt
 		return nil, err
 	}
 	o := &outcome{plan: res.Plan, cost: res.Cost, card: res.Plan.Card, mode: ModeIDP}
-	r := cfg.finish(o, q.cat.Names(), cq)
+	r = cfg.finish(o, q.cat.Names(), cq)
 	// The caller asked for the hybrid; Mode records it, but nothing was
 	// degraded away from.
 	r.Degraded = false

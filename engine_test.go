@@ -577,8 +577,15 @@ func TestEngineCacheHitAllocs(t *testing.T) {
 			t.Fatal("must measure the hit path")
 		}
 	})
-	if allocs >= 10 {
-		t.Errorf("cache hit allocated %v times per op, want < 10", allocs)
+	limit := 10.0
+	if raceEnabled {
+		// The race detector disables open-coded defers, so the panic-recovery
+		// defer at the Optimize boundary is one extra heap allocation per call
+		// under -race only; production builds open-code it for free.
+		limit++
+	}
+	if allocs >= limit {
+		t.Errorf("cache hit allocated %v times per op, want < %v", allocs, limit)
 	}
 }
 

@@ -160,8 +160,14 @@ func TestEngineAutoEnumeratorHitAllocs(t *testing.T) {
 			t.Fatal("must measure the hit path")
 		}
 	})
-	if allocs >= 10 {
-		t.Errorf("auto-enumerator cache hit allocated %v times per op, want < 10", allocs)
+	limit := 10.0
+	if raceEnabled {
+		// See TestEngineCacheHitAllocs: -race disables open-coded defers, so
+		// the Optimize-boundary recover defer allocates there only.
+		limit++
+	}
+	if allocs >= limit {
+		t.Errorf("auto-enumerator cache hit allocated %v times per op, want < %v", allocs, limit)
 	}
 }
 

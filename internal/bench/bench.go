@@ -69,6 +69,9 @@ type Config struct {
 	// better part of an hour on one core and are skipped (and recorded as
 	// skipped) by default.
 	EnumFrontier bool
+	// ChaosJSON, when nonempty, is where the chaos experiment writes its
+	// BENCH_chaos.json measurement artifact.
+	ChaosJSON string
 }
 
 func (c Config) n() int {
@@ -111,7 +114,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators", "chaos"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -160,6 +163,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Hotpath(cfg)
 	case "enumerators":
 		err = Enumerators(cfg)
+	case "chaos":
+		err = Chaos(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,8 +28,10 @@ import (
 // The workload is a pool of random join shapes submitted in bursts: at
 // concurrency c, c consecutive requests carry the same query, so one of them
 // leads the cold optimization and the rest coalesce onto it — the serving
-// pattern the subsystem exists for. Every response must be 200; sheds fail
-// the experiment.
+// pattern the subsystem exists for. A 503 shed is retried the way a polite
+// client would — honoring the server's Retry-After with jittered backoff, a
+// bounded number of times — and counted; any other non-200, or a request
+// still shed after its retries, fails the experiment.
 //
 // With ServeQPS > 0 the generator paces requests at that global rate instead
 // of running flat out (closed loop per worker either way). With ServeJSON
@@ -59,16 +62,16 @@ func ServeLoad(cfg Config) error {
 	}
 
 	levels := []int{1, 4, 16}
-	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %12s %10s\n",
-		"conc", "requests", "p50 µs", "p99 µs", "qps", "coalesced%", "optim")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %12s %10s %8s\n",
+		"conc", "requests", "p50 µs", "p99 µs", "qps", "coalesced%", "optim", "retries")
 	var results []map[string]any
 	for _, level := range levels {
 		lr, err := serveLevel(level, d, cfg.ServeQPS, bodies)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%6d %10d %10.1f %10.1f %10.0f %11.1f%% %10d\n",
-			level, lr.requests, lr.p50US, lr.p99US, lr.qps, 100*lr.coalesceRate, lr.optimizations)
+		fmt.Fprintf(w, "%6d %10d %10.1f %10.1f %10.0f %11.1f%% %10d %8d\n",
+			level, lr.requests, lr.p50US, lr.p99US, lr.qps, 100*lr.coalesceRate, lr.optimizations, lr.retries)
 		prefix := fmt.Sprintf("serve/c=%d/", level)
 		results = append(results,
 			map[string]any{"case": prefix + "requests", "value": lr.requests},
@@ -77,6 +80,7 @@ func ServeLoad(cfg Config) error {
 			map[string]any{"case": prefix + "qps", "value": round1(lr.qps)},
 			map[string]any{"case": prefix + "coalesce_hit_rate_pct", "value": round1(100 * lr.coalesceRate)},
 			map[string]any{"case": prefix + "optimizations", "value": lr.optimizations},
+			map[string]any{"case": prefix + "retries_503", "value": lr.retries},
 		)
 	}
 	fmt.Fprintf(w, "\nObserved: the burst leader pays the cold 3^n optimization once; its\n")
@@ -95,6 +99,26 @@ type serveLevelResult struct {
 	qps           float64
 	coalesceRate  float64
 	optimizations uint64
+	retries       int64
+}
+
+// maxServeRetries bounds how many times one logical request may be retried
+// after 503 sheds before it counts as a failure.
+const maxServeRetries = 5
+
+// retryDelay converts a 503's Retry-After header into a jittered, linearly
+// backed-off wait: attempt × header seconds (default 1 s), scaled by a random
+// factor in [0.5, 1.5) so retried bursts do not re-collide, capped at 2 s.
+func retryDelay(header string, attempt int, rng *rand.Rand) time.Duration {
+	base := time.Second
+	if s, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && s >= 0 {
+		base = time.Duration(s) * time.Second
+	}
+	d := time.Duration(float64(base) * float64(attempt) * (0.5 + rng.Float64()))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
 }
 
 // serveLevel runs one concurrency level against a fresh server (fresh engine,
@@ -119,7 +143,7 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 	client := &http.Client{}
 
 	var next atomic.Int64
-	var failures atomic.Int64
+	var failures, retries atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
 	deadline := start.Add(d)
@@ -129,6 +153,7 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7433 + wkr)))
 			for {
 				i := next.Add(1) - 1
 				if targetQPS > 0 {
@@ -144,7 +169,12 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 				// Bursts: `level` consecutive request indices share one body,
 				// so concurrent workers coalesce on it.
 				body := bodies[(int(i)/level)%len(bodies)]
+				// One logical request, retried through 503 sheds the way the
+				// Retry-After contract asks; the recorded latency is the full
+				// client-observed wall, backoff included.
 				t0 := time.Now()
+				attempt := 0
+			retry:
 				resp, err := client.Post(base+"/v1/optimize", "application/json",
 					strings.NewReader(body))
 				if err != nil {
@@ -154,9 +184,18 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxServeRetries {
+					attempt++
+					retries.Add(1)
+					time.Sleep(retryDelay(resp.Header.Get("Retry-After"), attempt, rng))
+					if time.Now().After(deadline) {
+						return
+					}
+					goto retry
+				}
 				if resp.StatusCode != http.StatusOK {
 					failures.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d", resp.StatusCode))
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d after %d retries", resp.StatusCode, attempt))
 					continue
 				}
 				lat[wkr] = append(lat[wkr], time.Since(t0))
@@ -204,6 +243,7 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 		qps:           float64(len(all)) / elapsed.Seconds(),
 		coalesceRate:  float64(coalesced) / float64(len(all)),
 		optimizations: optimizations,
+		retries:       retries.Load(),
 	}, nil
 }
 
@@ -278,10 +318,12 @@ func writeServeArtifact(path string, n int, d time.Duration, qps float64, result
 			"loopback HTTP, %s. Workload: %d random join shapes at n=%d submitted in "+
 			"concurrency-sized bursts, so at concurrency c one request leads the cold "+
 			"optimization and up to c-1 coalesce onto its canonical fingerprint; later "+
-			"resubmissions hit the plan cache. Latencies are client-side per-request walls; "+
+			"resubmissions hit the plan cache. Latencies are client-side per-request walls, "+
+			"including any 503 backoff (retries_503 counts shed responses retried per the "+
+			"server's Retry-After with jittered backoff, at most %d per request); "+
 			"coalesce_hit_rate_pct = coalesced waits / total requests, cross-checked against "+
 			"the server's exact telemetry counters (coalesced + optimizations = requests).",
-			pacing, pool, n),
+			pacing, pool, n, maxServeRetries),
 		Results: results,
 	}
 	b, err := json.MarshalIndent(art, "", "  ")

@@ -1,6 +1,7 @@
 package check_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -106,3 +107,37 @@ func TestCacheFaithfulSkipsEstimators(t *testing.T) {
 type constStep struct{}
 
 func (constStep) StepFactor(bitset.Set) float64 { return 0.5 }
+
+// Error plumbing for CacheFaithful, mirroring SnapshotFaithful's: argument
+// validation and optimizer failures must not pass silently.
+func TestCacheFaithfulErrorPaths(t *testing.T) {
+	q := chainQuery()
+	perm := []int{2, 0, 3, 1}
+
+	var c check.Checker
+	if err := c.CacheFaithful(q, core.Options{}, []int{0}); err == nil {
+		t.Error("mismatched permutation length accepted")
+	}
+
+	c = check.Checker{Optimizer: func(core.Query, core.Options) (*core.Result, error) {
+		return nil, errors.New("stored run exploded")
+	}}
+	wantErr(t, c.CacheFaithful(q, core.Options{}, perm), "stored run exploded")
+
+	c = check.Checker{Optimizer: func(core.Query, core.Options) (*core.Result, error) {
+		return nil, core.ErrNoPlan
+	}}
+	if err := c.CacheFaithful(q, core.Options{}, perm); err != nil {
+		t.Errorf("stored ErrNoPlan should pass vacuously: %v", err)
+	}
+}
+
+// CostConsistent's reference cardinality must follow the §5.4 min-split
+// recurrence for estimator queries, not just the join-graph product.
+func TestCostConsistentEstimatorCardinality(t *testing.T) {
+	q := core.Query{Cards: []float64{10, 20, 30}, Estimator: constStep{}}
+	res := optimize(t, q, core.Options{})
+	if err := check.CostConsistent(q, cost.Naive{}, res); err != nil {
+		t.Fatalf("CostConsistent on estimator query: %v", err)
+	}
+}

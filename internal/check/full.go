@@ -107,6 +107,9 @@ func (c Checker) Full(q core.Query, m cost.Model, leftDeep bool, aux int64) erro
 	if err := c.CacheFaithful(q, opts, rng.Perm(n)); err != nil {
 		return fmt.Errorf("cache faithfulness: %w", err)
 	}
+	if err := c.SnapshotFaithful(q, opts, rng.Perm(n)); err != nil {
+		return fmt.Errorf("snapshot faithfulness: %w", err)
+	}
 	scales := []float64{2, 10, 1e3}
 	if err := c.ScalingMonotone(q, opts, scales[int(aux%int64(len(scales)))]); err != nil {
 		return fmt.Errorf("scaling monotonicity: %w", err)

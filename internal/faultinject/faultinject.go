@@ -35,12 +35,32 @@ const (
 	// FacadeRung fires before the facade degradation ladder attempts a
 	// rung; hooks can count invocations to observe rung transitions.
 	FacadeRung Point = "facade.rung"
+	// EngineOptimize fires at the start of every cold (cache-miss) engine
+	// optimization, inside the engine's panic-recovery boundary. A hook that
+	// panics deterministically exercises the recover → *InternalError →
+	// quarantine path without depending on a real optimizer bug.
+	EngineOptimize Point = "engine.optimize"
+	// ServerRequest fires inside the HTTP optimize handler after decode,
+	// inside the server's per-request recovery boundary.
+	ServerRequest Point = "server.request"
+	// SnapshotWriteRecord fires (as an error point) before each record the
+	// plan-cache snapshot writer emits, simulating an IO error mid-write.
+	SnapshotWriteRecord Point = "snapshot.write.record"
+	// SnapshotLoadRecord fires (as an error point) before each record the
+	// snapshot loader decodes; an injected error makes that record count as
+	// skipped, simulating a read fault on otherwise-valid bytes.
+	SnapshotLoadRecord Point = "snapshot.load.record"
+	// SnapshotPersist fires (as an error point) between the temp-file write
+	// and the atomic rename in internal/snapshot, simulating a partial write
+	// that must leave the previous snapshot intact.
+	SnapshotPersist Point = "snapshot.persist"
 )
 
 var (
-	mu     sync.Mutex
-	hooks  map[Point]func()
-	active atomic.Int32
+	mu       sync.Mutex
+	hooks    map[Point]func()
+	errHooks map[Point]func() error
+	active   atomic.Int32
 )
 
 // Inject invokes the hook registered for p, if any. With no hooks registered
@@ -55,6 +75,45 @@ func Inject(p Point) {
 	if fn != nil {
 		fn()
 	}
+}
+
+// InjectErr invokes the error hook registered for p and returns its error,
+// letting tests inject IO failures at points whose production code has an
+// error path to exercise (the snapshot writer and loader). Like Inject it is
+// one atomic load when nothing is registered.
+func InjectErr(p Point) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := errHooks[p]
+	mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// SetErr registers fn as the error hook for p, replacing any previous one; a
+// nil fn clears the point. Same process-global discipline as Set: pair every
+// SetErr with a Reset (or SetErr(p, nil)).
+func SetErr(p Point, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fn == nil {
+		if errHooks != nil && errHooks[p] != nil {
+			delete(errHooks, p)
+			active.Add(-1)
+		}
+		return
+	}
+	if errHooks == nil {
+		errHooks = make(map[Point]func() error)
+	}
+	if errHooks[p] == nil {
+		active.Add(1)
+	}
+	errHooks[p] = fn
 }
 
 // Set registers fn as the hook for p, replacing any previous hook; a nil fn
@@ -84,5 +143,6 @@ func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = nil
+	errHooks = nil
 	active.Store(0)
 }

@@ -154,7 +154,11 @@ func (c *Cache) GetBytes(key []byte) (Entry, bool) {
 // needed to stay inside the shard's byte budget. An entry that alone exceeds
 // the budget is rejected (counted in Stats.Rejects) rather than flushing the
 // whole shard for a single oversized plan.
-func (c *Cache) Put(key string, e Entry) {
+func (c *Cache) Put(key string, e Entry) { c.put(key, e) }
+
+// put is Put reporting whether the entry was admitted; the snapshot loader
+// uses the signal to classify budget refusals as rejected records.
+func (c *Cache) put(key string, e Entry) bool {
 	size := entryBytes(key, e)
 	s := shardFor(c, key)
 	s.mu.Lock()
@@ -162,7 +166,7 @@ func (c *Cache) Put(key string, e Entry) {
 	s.puts++
 	if size > s.maxBytes {
 		s.rejects++
-		return
+		return false
 	}
 	if old, ok := s.m[key]; ok {
 		s.bytes -= old.bytes
@@ -183,6 +187,7 @@ func (c *Cache) Put(key string, e Entry) {
 		s.bytes -= victim.bytes
 		s.evicts++
 	}
+	return true
 }
 
 // Snapshot aggregates counters and footprint across all shards. The sums are

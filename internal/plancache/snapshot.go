@@ -1,0 +1,475 @@
+// Snapshot codec: a versioned, length-prefixed, CRC-checksummed binary
+// serialization of the cache's entries, the durable half of blitzd's
+// crash-safe warm restarts. The format is designed so that *any* corruption —
+// truncation, bit flips, version skew, garbage — degrades to a cold or
+// partial cache, never to an error exit and never to a poisoned hit:
+//
+//	header  "bzsnap1\x00"                          8 bytes, format version
+//	record  uvarint payloadLen                     framing
+//	        payload                                see encodeEntry
+//	        uint32 CRC-32C(payload), little-endian integrity
+//	...repeated until EOF
+//
+// Every record is independently checksummed and independently decodable, so
+// the loader admits exactly the records whose checksum and structural
+// validation both pass and skips the rest. A corrupted length field loses the
+// framing for everything after it (there is no resynchronization marker —
+// the snapshot is a cache, and a partial restore is a correct restore), which
+// the loader reports as one truncated tail.
+package plancache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/faultinject"
+	"blitzsplit/internal/plan"
+)
+
+// snapshotMagic identifies the snapshot format and its version. A future
+// incompatible codec bumps the digit; a loader seeing an unknown header
+// treats the whole file as version skew and restores nothing.
+const snapshotMagic = "bzsnap1\x00"
+
+// MaxSnapshotRecord bounds one record's payload. Real entries are tiny (a
+// plan at the representation's n=30 limit is 59 nodes, well under a
+// kilobyte), so a length beyond this is either corruption of the length
+// field itself or an oversized record from a foreign writer; both lose the
+// framing and end the restore.
+const MaxSnapshotRecord = 1 << 20
+
+// maxSnapshotPlanNodes bounds the decoded plan tree. A valid plan over
+// bitset.MaxRelations relations has at most 2·30−1 nodes; the slack admits
+// future growth without letting a crafted record allocate unboundedly.
+const maxSnapshotPlanNodes = 4 * bitset.MaxRelations
+
+// WriteStats reports what WriteSnapshot persisted.
+type WriteStats struct {
+	// Entries is the number of records written.
+	Entries int
+	// Bytes is the total snapshot size, header included.
+	Bytes int64
+}
+
+// LoadStats reports a LoadSnapshot outcome. Loaded + Skipped + Rejected
+// covers every record the loader saw whole; Truncated marks that the stream
+// ended inside a record (or lost framing), so an unknown number of further
+// records may have been dropped with it.
+type LoadStats struct {
+	// Loaded counts records restored into the cache.
+	Loaded int
+	// Skipped counts records dropped for failed checksums or undecodable
+	// payloads — the corruption cases.
+	Skipped int
+	// Rejected counts structurally whole records the cache refused: version
+	// skew (reported once for the whole file), oversized records, and
+	// entries beyond a shard's byte budget.
+	Rejected int
+	// Truncated reports that the stream ended mid-record or lost framing.
+	Truncated bool
+}
+
+// countingWriter tracks bytes written through an io.Writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteSnapshot serializes every resident entry to w. Entries are collected
+// shard by shard under each shard's lock — concurrent traffic keeps flowing
+// between shards — and encoded outside it (plans are immutable once cached,
+// so only the key/scalar copy needs the lock). Within a shard, entries are
+// written least-recently-used first, so a sequential LoadSnapshot restores
+// the recency order along with the contents.
+//
+// A write error aborts the snapshot; the caller (internal/snapshot) writes to
+// a temp file and renames only on success, so a failed snapshot never damages
+// the previous one.
+func (c *Cache) WriteSnapshot(w io.Writer) (WriteStats, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var st WriteStats
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return st, err
+	}
+	var scratch []byte
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries := make([]*lruNode, 0, len(s.m))
+		for n := s.tail; n != nil; n = n.prev {
+			entries = append(entries, n)
+		}
+		// The nodes themselves stay owned by the shard; copy the key and
+		// entry out before unlocking so eviction cannot race the encode.
+		copies := make([]struct {
+			key string
+			e   Entry
+		}, len(entries))
+		for j, n := range entries {
+			copies[j].key = n.key
+			copies[j].e = n.entry
+		}
+		s.mu.Unlock()
+		for _, ent := range copies {
+			if err := faultinject.InjectErr(faultinject.SnapshotWriteRecord); err != nil {
+				return st, err
+			}
+			scratch = encodeEntry(scratch[:0], ent.key, ent.e)
+			var frame [binary.MaxVarintLen64]byte
+			if _, err := bw.Write(frame[:binary.PutUvarint(frame[:], uint64(len(scratch)))]); err != nil {
+				return st, err
+			}
+			if _, err := bw.Write(scratch); err != nil {
+				return st, err
+			}
+			var sum [4]byte
+			binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(scratch, crcTable))
+			if _, err := bw.Write(sum[:]); err != nil {
+				return st, err
+			}
+			st.Entries++
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return st, err
+	}
+	st.Bytes = cw.n
+	return st, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEntry appends one entry's payload: the cache key, the scalar
+// bookkeeping, and the plan tree. Floats are fixed-width IEEE bits so the
+// restore is bit-identical; counts are uvarints.
+func encodeEntry(b []byte, key string, e Entry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Cost))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Cardinality))
+	b = binary.AppendUvarint(b, e.Counters.SubsetsVisited)
+	b = binary.AppendUvarint(b, e.Counters.LoopIters)
+	b = binary.AppendUvarint(b, e.Counters.KppEvals)
+	b = binary.AppendUvarint(b, e.Counters.KpEvals)
+	b = binary.AppendUvarint(b, e.Counters.CondHits)
+	b = binary.AppendUvarint(b, e.Counters.ThresholdSkips)
+	b = binary.AppendUvarint(b, uint64(e.Counters.Passes))
+	return encodePlan(b, e.Plan)
+}
+
+// encodePlan appends the plan tree preorder. Leaves carry (rel, card); inner
+// nodes carry (card, cost, algorithm) and recurse. Relation sets are not
+// stored — they are derivable (and re-derived on load, then cross-checked by
+// plan.Validate).
+func encodePlan(b []byte, n *plan.Node) []byte {
+	if n.IsLeaf() {
+		b = append(b, 0)
+		b = binary.AppendUvarint(b, uint64(n.Rel))
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Card))
+	}
+	b = append(b, 1)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Card))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(n.Cost))
+	b = binary.AppendUvarint(b, uint64(len(n.Algorithm)))
+	b = append(b, n.Algorithm...)
+	b = encodePlan(b, n.Left)
+	return encodePlan(b, n.Right)
+}
+
+// errCorrupt marks payload-level decode failures inside LoadSnapshot; the
+// record is skipped, never surfaced.
+var errCorrupt = errors.New("plancache: corrupt snapshot record")
+
+// LoadSnapshot restores entries from r into the cache through the normal Put
+// path (byte budgets and eviction apply). It never fails on corruption: bad
+// checksums and undecodable payloads are skipped, an unknown header is
+// version skew (nothing restored), and a truncated or frame-corrupted tail
+// ends the restore early — each outcome counted in LoadStats. The returned
+// error is non-nil only for a real read fault from r itself; even then the
+// entries already restored remain valid, so every failure mode yields a
+// working cold-or-partial cache.
+//
+// Structural validation (plan.Validate plus relation-index bounds) runs on
+// every record before it is admitted: a record whose checksum passes but
+// whose content could poison a hit — a malformed tree, NaN bookkeeping — is
+// skipped like any other corruption.
+func (c *Cache) LoadSnapshot(r io.Reader) (LoadStats, error) {
+	var st LoadStats
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Empty or shorter-than-header file: nothing to restore.
+			st.Truncated = err == io.ErrUnexpectedEOF
+			return st, nil
+		}
+		return st, err
+	}
+	if string(head) != snapshotMagic {
+		// Version skew or a foreign file; restoring records under another
+		// format's framing could only manufacture garbage entries.
+		st.Rejected++
+		return st, nil
+	}
+	payload := make([]byte, 0, 1024)
+	for {
+		size, status, err := readFrameLen(br)
+		if err != nil {
+			st.Truncated = true
+			return st, readFault(err)
+		}
+		switch status {
+		case frameEOF:
+			return st, nil // clean end of stream
+		case frameLost:
+			st.Truncated = true
+			return st, nil
+		}
+		if size > MaxSnapshotRecord {
+			// Either the length field itself took the bit flip or a foreign
+			// writer produced an oversized record; framing is gone either way.
+			st.Rejected++
+			st.Truncated = true
+			return st, nil
+		}
+		if uint64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			st.Truncated = true
+			return st, readFault(err)
+		}
+		var sum [4]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			st.Truncated = true
+			return st, readFault(err)
+		}
+		if err := faultinject.InjectErr(faultinject.SnapshotLoadRecord); err != nil {
+			st.Skipped++
+			continue
+		}
+		if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, crcTable) {
+			st.Skipped++
+			continue
+		}
+		key, entry, err := decodeEntry(payload)
+		if err != nil {
+			st.Skipped++
+			continue
+		}
+		if !c.put(key, entry) {
+			st.Rejected++ // beyond the shard's byte budget
+			continue
+		}
+		st.Loaded++
+	}
+}
+
+// frameStatus classifies one length-prefix read.
+type frameStatus int
+
+const (
+	frameOK   frameStatus = iota // size is valid
+	frameEOF                     // clean EOF exactly at a record boundary
+	frameLost                    // varint cut off or overflowed: framing gone
+)
+
+// readFrameLen reads one record's length prefix. A varint cut off by EOF or
+// running past 10 bytes means the framing is corrupted — there is no way to
+// find the next record — so the caller ends the restore as a truncated tail.
+// A non-EOF read error is returned as a fault.
+func readFrameLen(br *bufio.Reader) (size uint64, status frameStatus, err error) {
+	var shift uint
+	for i := 0; ; i++ {
+		b, rerr := br.ReadByte()
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				if i == 0 {
+					return 0, frameEOF, nil
+				}
+				return 0, frameLost, nil
+			}
+			return 0, frameLost, rerr
+		}
+		if i == binary.MaxVarintLen64 || (i == binary.MaxVarintLen64-1 && b > 1) {
+			return 0, frameLost, nil // varint overflow
+		}
+		size |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return size, frameOK, nil
+		}
+		shift += 7
+	}
+}
+
+// readFault passes through real IO errors but swallows the EOF family —
+// truncation is an expected corruption, not a fault.
+func readFault(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil
+	}
+	return err
+}
+
+// decodeEntry parses one checksum-verified payload back into (key, Entry),
+// validating everything a poisoned hit could ride in on.
+func decodeEntry(b []byte) (string, Entry, error) {
+	var e Entry
+	d := decoder{b: b}
+	klen := d.uvarint()
+	if d.err != nil || klen == 0 || klen > uint64(len(d.b)) {
+		return "", e, errCorrupt
+	}
+	key := string(d.bytes(int(klen)))
+	e.Cost = d.float()
+	e.Cardinality = d.float()
+	e.Counters.SubsetsVisited = d.uvarint()
+	e.Counters.LoopIters = d.uvarint()
+	e.Counters.KppEvals = d.uvarint()
+	e.Counters.KpEvals = d.uvarint()
+	e.Counters.CondHits = d.uvarint()
+	e.Counters.ThresholdSkips = d.uvarint()
+	passes := d.uvarint()
+	if d.err != nil || passes > math.MaxInt32 {
+		return "", e, errCorrupt
+	}
+	e.Counters.Passes = int(passes)
+	nodes := 0
+	e.Plan = d.plan(&nodes)
+	if d.err != nil || d.off != len(d.b) {
+		return "", e, errCorrupt
+	}
+	if math.IsNaN(e.Cost) || math.IsNaN(e.Cardinality) || e.Cost < 0 || e.Cardinality < 0 {
+		return "", e, errCorrupt
+	}
+	if err := e.Plan.Validate(); err != nil {
+		return "", e, errCorrupt
+	}
+	return key, e, nil
+}
+
+// decoder is a cursor over one payload with sticky error state.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errCorrupt
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) float() float64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// plan decodes one tree preorder, rebuilding relation sets bottom-up and
+// bounding both node count and relation indexes so a crafted payload cannot
+// allocate unboundedly or panic the bitset constructors.
+func (d *decoder) plan(nodes *int) *plan.Node {
+	if d.err != nil {
+		return nil
+	}
+	*nodes++
+	if *nodes > maxSnapshotPlanNodes {
+		d.fail()
+		return nil
+	}
+	tag := d.bytes(1)
+	if d.err != nil {
+		return nil
+	}
+	switch tag[0] {
+	case 0:
+		rel := d.uvarint()
+		if d.err != nil || rel >= bitset.MaxRelations {
+			d.fail()
+			return nil
+		}
+		card := d.float()
+		if d.err != nil {
+			return nil
+		}
+		return &plan.Node{Set: bitset.Single(int(rel)), Rel: int(rel), Card: card}
+	case 1:
+		card := d.float()
+		cost := d.float()
+		alen := d.uvarint()
+		if d.err != nil || alen > 64 {
+			d.fail()
+			return nil
+		}
+		alg := string(d.bytes(int(alen)))
+		left := d.plan(nodes)
+		right := d.plan(nodes)
+		if d.err != nil {
+			return nil
+		}
+		return &plan.Node{
+			Set:       left.Set | right.Set,
+			Card:      card,
+			Cost:      cost,
+			Algorithm: alg,
+			Left:      left,
+			Right:     right,
+		}
+	default:
+		d.fail()
+		return nil
+	}
+}
+
+// String renders load stats for logs: "loaded 12 (skipped 1, rejected 0)".
+func (s LoadStats) String() string {
+	out := fmt.Sprintf("loaded %d (skipped %d, rejected %d", s.Loaded, s.Skipped, s.Rejected)
+	if s.Truncated {
+		out += ", truncated tail"
+	}
+	return out + ")"
+}

@@ -1,0 +1,42 @@
+package plancache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotLoad feeds arbitrary bytes to the snapshot loader. The contract
+// under fuzz: never panic, never return an error (corruption degrades to a
+// cold-or-partial cache), and never report more entries loaded than the cache
+// actually holds. Entries that do load must pass plan validation — a
+// CRC-collision forgery that decodes must still be structurally sound.
+func FuzzSnapshotLoad(f *testing.F) {
+	src := New(1<<20, 1)
+	fill(src, 3)
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte("not a snapshot"))
+	f.Add(corrupt(valid, len(snapshotMagic)+2, 0x80))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(1<<20, 1)
+		st, err := c.LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("LoadSnapshot returned error: %v", err)
+		}
+		got := c.Snapshot()
+		if got.Entries != st.Loaded {
+			t.Fatalf("stats claim %d loaded, cache holds %d", st.Loaded, got.Entries)
+		}
+		if st.Loaded < 0 || st.Skipped < 0 || st.Rejected < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+	})
+}

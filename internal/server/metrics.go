@@ -19,6 +19,7 @@ type metrics struct {
 	optimizations *telemetry.Counter
 	coalesced     *telemetry.Counter
 	shed          *telemetry.Counter
+	panics        *telemetry.Counter
 
 	mu     sync.Mutex
 	byCode map[int]*telemetry.Counter
@@ -36,6 +37,8 @@ func newMetrics(reg *telemetry.Registry, s *Server) *metrics {
 			"Requests that waited on an identical in-flight optimization."),
 		shed: reg.Counter("blitzd_shed_total", "",
 			"Requests refused with 503 (admission timeout or draining)."),
+		panics: reg.Counter("blitzd_panics_total", "",
+			"Requests that failed on a recovered panic (engine or handler boundary)."),
 		byCode: make(map[int]*telemetry.Counter),
 		byRung: make(map[string]*telemetry.Counter),
 	}
@@ -76,6 +79,35 @@ func newMetrics(reg *telemetry.Registry, s *Server) *metrics {
 		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.Arena.PooledBytes) }))
 	reg.GaugeFunc("blitzd_arena_reuses_total", "", "Table checkouts served from the pool.",
 		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.Arena.Reuses) }))
+	reg.GaugeFunc("blitzd_panics_recovered_total", "",
+		"Optimizer panics recovered at the engine boundary.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.PanicsRecovered) }))
+	reg.GaugeFunc("blitzd_quarantined_shapes", "",
+		"Query shapes quarantined after repeated optimizer panics.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.QuarantinedShapes) }))
+	reg.GaugeFunc("blitzd_snapshot_age_seconds", "",
+		"Seconds since the last successful plan-cache snapshot; -1 before the first.",
+		func() float64 {
+			st := s.eng.Stats()
+			if st.LastSnapshot.At.IsZero() {
+				return -1
+			}
+			return s.cfg.Now().Sub(st.LastSnapshot.At).Seconds()
+		})
+	reg.GaugeFunc("blitzd_snapshot_last_entries", "",
+		"Plan-cache entries written by the last snapshot.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.LastSnapshot.Entries) }))
+	reg.GaugeFunc("blitzd_snapshot_last_bytes", "",
+		"Bytes written by the last snapshot.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.LastSnapshot.Bytes) }))
+	reg.GaugeFunc("blitzd_snapshot_restored_entries", "",
+		"Plan-cache entries restored at startup.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.Restore.Loaded) }))
+	reg.GaugeFunc("blitzd_snapshot_restore_skipped", "",
+		"Snapshot records dropped on restore (CRC or decode failures plus rejects).",
+		stat(func(st blitzsplit.EngineStats) float64 {
+			return float64(st.Restore.Skipped + st.Restore.Rejected)
+		}))
 	return m
 }
 

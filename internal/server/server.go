@@ -43,6 +43,7 @@ import (
 	"blitzsplit/internal/canon"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
+	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/plan"
 	"blitzsplit/internal/spec"
 	"blitzsplit/internal/telemetry"
@@ -96,6 +97,14 @@ type Config struct {
 	MemBudget uint64
 	// MaxBody bounds the request body; 0 selects 1 MiB.
 	MaxBody int64
+	// SnapshotPath, when non-empty, is the plan-cache snapshot file behind
+	// warm restarts: RestoreSnapshot reads it at startup, SnapshotNow and the
+	// periodic loop write it atomically (temp + fsync + rename).
+	SnapshotPath string
+	// SnapshotInterval is the period of the background snapshot loop started
+	// by StartSnapshots; 0 selects DefaultSnapshotInterval. Ignored when
+	// SnapshotPath is empty.
+	SnapshotInterval time.Duration
 	// Registry receives the server's metrics; nil creates a private one.
 	Registry *telemetry.Registry
 	// Now overrides the clock for tests; nil selects time.Now.
@@ -114,6 +123,13 @@ type Server struct {
 	met      *metrics
 	// canonPool recycles flightKey's canonicalizer scratch across requests.
 	canonPool sync.Pool
+	// handlerPanics counts panics recovered at the HTTP handler boundary
+	// (the engine recovers its own; this is everything outside it). snapStop
+	// and snapDone manage the periodic snapshot loop.
+	handlerPanics atomic.Uint64
+	snapMu        sync.Mutex
+	snapStop      chan struct{}
+	snapDone      chan struct{}
 }
 
 // New returns a server over cfg.Engine (or a fresh caching engine).
@@ -255,10 +271,21 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 }
 
 // handleOptimize is the serving spine: decode → validate → coalesce →
-// admit → optimize (deadline-laddered) → respond.
+// admit → optimize (deadline-laddered) → respond. A panic anywhere in the
+// spine is recovered here and answered with 500: one request fails, the
+// process keeps serving. (The engine recovers its own optimizer panics and
+// returns *InternalError; this boundary catches everything outside it.)
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	start := s.cfg.Now()
 	defer func() { s.met.latency.Observe(s.cfg.Now().Sub(start)) }()
+	defer func() {
+		if v := recover(); v != nil {
+			s.handlerPanics.Add(1)
+			s.met.panics.Inc()
+			s.fail(w, http.StatusInternalServerError, "internal error: %v", v)
+		}
+	}()
+	faultinject.Inject(faultinject.ServerRequest)
 
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
@@ -361,6 +388,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.eng.Optimize(r.Context(), q, options...)
 	if err != nil {
+		var ie *blitzsplit.InternalError
+		if errors.As(err, &ie) {
+			// An optimizer panic the engine recovered: the request fails 500
+			// below, the counter feeds the chaos harness and alerting.
+			s.met.panics.Inc()
+		}
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, core.ErrNoPlan):
@@ -371,6 +404,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			// The server was pinned to the CCP enumerator and this query's
 			// graph is outside its plan space — a property of the request,
 			// not a server fault.
+			code = http.StatusUnprocessableEntity
+		case errors.Is(err, blitzsplit.ErrQuarantined):
+			// The shape has crashed the optimizer repeatedly and the engine
+			// refuses to run it again: a property of the request, answered
+			// 422 so clients stop resubmitting it.
 			code = http.StatusUnprocessableEntity
 		case errors.Is(err, core.ErrBudgetExceeded):
 			// Only explicit cancellation reaches here — the ladder absorbs

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"blitzsplit"
+	"blitzsplit/internal/snapshot"
+)
+
+// DefaultSnapshotInterval is the periodic snapshot cadence when
+// Config.SnapshotInterval is zero.
+const DefaultSnapshotInterval = 30 * time.Second
+
+// ErrNoSnapshotPath is returned by the snapshot operations when the server
+// was configured without one.
+var ErrNoSnapshotPath = errors.New("server: no snapshot path configured")
+
+// SnapshotNow writes the engine's plan cache to Config.SnapshotPath
+// atomically: a crash mid-write leaves the previous snapshot whole. Safe to
+// call concurrently with serving traffic and with the periodic loop (the
+// rename step serializes through the filesystem; the last writer wins with a
+// complete file either way).
+func (s *Server) SnapshotNow() (blitzsplit.SnapshotWriteStats, error) {
+	if s.cfg.SnapshotPath == "" {
+		return blitzsplit.SnapshotWriteStats{}, ErrNoSnapshotPath
+	}
+	var ws blitzsplit.SnapshotWriteStats
+	err := snapshot.Write(s.cfg.SnapshotPath, func(w io.Writer) error {
+		var werr error
+		ws, werr = s.eng.WriteSnapshot(w)
+		return werr
+	})
+	if err != nil {
+		return blitzsplit.SnapshotWriteStats{}, err
+	}
+	return ws, nil
+}
+
+// RestoreSnapshot loads Config.SnapshotPath into the engine's plan cache. A
+// missing file is a clean cold start (zero stats, nil error); a corrupt file
+// restores what survives — the returned LoadStats says what was skipped. Only
+// an unreadable file (permissions, I/O) is an error, and even then the server
+// can serve cold. Stale temp files from a crashed writer are swept first.
+func (s *Server) RestoreSnapshot() (blitzsplit.SnapshotLoadStats, error) {
+	if s.cfg.SnapshotPath == "" {
+		return blitzsplit.SnapshotLoadStats{}, ErrNoSnapshotPath
+	}
+	snapshot.CleanStale(s.cfg.SnapshotPath)
+	f, err := os.Open(s.cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return blitzsplit.SnapshotLoadStats{}, nil
+	}
+	if err != nil {
+		return blitzsplit.SnapshotLoadStats{}, fmt.Errorf("server: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return s.eng.LoadSnapshot(f)
+}
+
+// StartSnapshots launches the periodic snapshot loop (no-op without a
+// snapshot path). The returned stop function halts the loop and waits for
+// any in-progress write; it does not take a final snapshot — cmd/blitzd does
+// that explicitly after drain, when the cache has stopped changing.
+func (s *Server) StartSnapshots(onErr func(error)) (stop func()) {
+	if s.cfg.SnapshotPath == "" {
+		return func() {}
+	}
+	interval := s.cfg.SnapshotInterval
+	if interval <= 0 {
+		interval = DefaultSnapshotInterval
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapStop != nil {
+		return s.stopSnapshots // already running; stopping is idempotent
+	}
+	s.snapStop = make(chan struct{})
+	s.snapDone = make(chan struct{})
+	go func(stopc chan struct{}, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if _, err := s.SnapshotNow(); err != nil && onErr != nil {
+					// A failed periodic snapshot is survivable — the previous
+					// file is intact — so log and keep ticking.
+					onErr(err)
+				}
+			case <-stopc:
+				return
+			}
+		}
+	}(s.snapStop, s.snapDone)
+	return s.stopSnapshots
+}
+
+// stopSnapshots halts the periodic loop, waiting for it to exit. Idempotent.
+func (s *Server) stopSnapshots() {
+	s.snapMu.Lock()
+	stopc, done := s.snapStop, s.snapDone
+	s.snapStop, s.snapDone = nil, nil
+	s.snapMu.Unlock()
+	if stopc == nil {
+		return
+	}
+	close(stopc)
+	<-done
+}
+
+// HandlerPanics reports panics recovered at the HTTP handler boundary.
+func (s *Server) HandlerPanics() uint64 { return s.handlerPanics.Load() }

@@ -1,0 +1,104 @@
+// Package snapshot provides crash-safe file persistence for the plan-cache
+// snapshots behind blitzd's warm restarts. The one primitive is the classic
+// atomic-replace protocol: write to a temporary file in the target's
+// directory, fsync it, rename it over the target, and fsync the directory —
+// so at every instant the target path holds either the complete previous
+// snapshot or the complete new one, never a torn write. A crash (or an
+// injected fault) mid-write leaves only a stray temp file, which Write cleans
+// up on the next attempt.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"blitzsplit/internal/faultinject"
+)
+
+// tmpPattern names in-progress snapshot temp files; CleanStale and Write's
+// pre-pass both match it. The "." prefix keeps half-written files from being
+// mistaken for snapshots by anything globbing the directory.
+const tmpPattern = ".snapshot-*.tmp"
+
+// Write atomically replaces the file at path with the bytes produced by
+// write. The callback receives a buffered writer into a temp file in path's
+// directory; only after it returns nil and the temp file is fsynced does the
+// rename happen. On any failure the target is untouched and the temp file is
+// removed.
+func Write(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	// The injected partial-write fault sits exactly where a crash between
+	// payload write and durable rename would: the previous snapshot must
+	// survive it.
+	if err = faultinject.InjectErr(faultinject.SnapshotPersist); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("snapshot: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("snapshot: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	err = syncDir(dir)
+	return err
+}
+
+// syncDir fsyncs a directory so a rename into it is durable. Filesystems
+// that refuse to fsync directories (or platforms without the concept) are
+// forgiven: the rename itself was still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// CleanStale removes leftover temp files from crashed snapshot writes in
+// path's directory. Best effort; returns the number removed.
+func CleanStale(path string) int {
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), tmpPattern))
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Probe verifies that path is writable by running the full Write protocol
+// with an empty payload against a sibling temp name, without touching path
+// itself. blitzd calls it at startup so a bad -snapshot path is a clear,
+// immediate exit instead of a surprise at the first interval.
+func Probe(path string) error {
+	probe := filepath.Join(filepath.Dir(path), ".snapshot-probe-"+filepath.Base(path))
+	if err := Write(probe, func(io.Writer) error { return nil }); err != nil {
+		return err
+	}
+	return os.Remove(probe)
+}

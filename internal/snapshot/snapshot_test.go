@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/faultinject"
+)
+
+func TestWriteAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatalf("Write replace: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+}
+
+// TestWriteFailureKeepsPrevious: a failing payload callback and an injected
+// partial-write fault must both leave the previous snapshot bytes intact and
+// no temp litter behind.
+func TestWriteFailureKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good")
+		return err
+	}); err != nil {
+		t.Fatalf("seed Write: %v", err)
+	}
+
+	boom := errors.New("disk on fire")
+	if err := Write(path, func(w io.Writer) error {
+		_, _ = io.WriteString(w, "half-written")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want %v", err, boom)
+	}
+
+	faultinject.SetErr(faultinject.SnapshotPersist, func() error { return boom })
+	err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "also-half")
+		return err
+	})
+	faultinject.Reset()
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected Write error = %v, want %v", err, boom)
+	}
+
+	if got, _ := os.ReadFile(path); string(got) != "good" {
+		t.Fatalf("previous snapshot damaged: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteBadDirectory(t *testing.T) {
+	err := Write(filepath.Join(t.TempDir(), "no-such-dir", "cache.snap"),
+		func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("Write into a missing directory succeeded")
+	}
+}
+
+func TestCleanStale(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	for i := 0; i < 3; i++ {
+		f, err := os.CreateTemp(dir, tmpPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if got := CleanStale(path); got != 3 {
+		t.Fatalf("CleanStale = %d, want 3", got)
+	}
+	if got := CleanStale(path); got != 0 {
+		t.Fatalf("second CleanStale = %d, want 0", got)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	if err := Probe(path); err != nil {
+		t.Fatalf("Probe writable dir: %v", err)
+	}
+	// The probe must not create or touch the snapshot itself.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Probe touched the snapshot path: stat err = %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("Probe left %d files behind", len(ents))
+	}
+	if err := Probe(filepath.Join(dir, "missing", "cache.snap")); err == nil {
+		t.Fatal("Probe of an unwritable path succeeded")
+	}
+}

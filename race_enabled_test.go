@@ -1,0 +1,10 @@
+//go:build race
+
+package blitzsplit
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which disables open-coded defers — the panic-recovery defer at
+// each Engine entry point then costs one heap allocation per call that
+// production builds do not pay. Allocation-count regression tests widen
+// their bound by exactly that much.
+const raceEnabled = true

@@ -17,9 +17,9 @@ BENCH_GATE_THRESHOLD ?= 1.6
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/plancache ./internal/server ./internal/snapshot ./internal/telemetry
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/exec ./internal/plancache ./internal/server ./internal/snapshot ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-chaos bench-gate bench-gate-soft profile serve-smoke chaos-smoke fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-chaos bench-exec bench-gate bench-gate-soft profile serve-smoke chaos-smoke fuzz-smoke cover
 
 ci: fmt vet build test race stress cover fuzz-smoke serve-smoke chaos-smoke bench-gate-soft
 
@@ -61,8 +61,11 @@ stress:
 		-run 'EnumeratorAgree|CCP' \
 		./internal/check/ ./internal/ccp/
 	$(GO) test -race -timeout 600s -count=5 \
-		-run 'Stress|Coalesc|Drain|Shed|Overload|Snapshot|Panic|Quarantine|Write|Probe' \
+		-run 'Stress|Coalesc|Drain|Shed|Overload|Snapshot|Panic|Quarantine|Write|Probe|Execute' \
 		./internal/server/ ./internal/telemetry/ ./internal/snapshot/
+	$(GO) test -race -timeout 600s -count=5 \
+		-run 'Exec|Adaptive|Vectorized|Splice|Downrank' \
+		./internal/exec/ ./internal/plan/ ./internal/check/ .
 
 # Run every native fuzz target for FUZZTIME each, starting from the
 # checked-in corpora under internal/check/testdata/fuzz/ and
@@ -73,6 +76,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzSpecRoundTrip$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzBitset$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzEnumerators$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
+	$(GO) test -fuzz='^FuzzExecVectorized$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/check/
 	$(GO) test -fuzz='^FuzzSnapshotLoad$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/plancache/
 
 # Enforce the coverage floor on the optimizer core and the invariant
@@ -123,6 +127,12 @@ bench-enumerators:
 # real blitzd subprocess.
 bench-chaos:
 	$(GO) run ./cmd/blitzbench -exp chaos -chaos-json BENCH_chaos.json
+
+# Regenerate BENCH_exec.json (see EXPERIMENTS.md): the vectorized executor
+# against the row engine on identical plans and data, plus the adaptive
+# re-optimization skew experiment.
+bench-exec:
+	$(GO) run ./cmd/blitzbench -exp exec -exec-json BENCH_exec.json
 
 # The benchstat-style regression gate: re-measure the hot paths and compare
 # against the checked-in BENCH_hotpath.json. Fails (exit 1) when ns/op

@@ -44,6 +44,7 @@ import (
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/engine"
+	"blitzsplit/internal/exec"
 	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/plan"
 	"blitzsplit/internal/schema"
@@ -159,8 +160,11 @@ type Schema = schema.Schema
 // NewSchema returns an empty schema over n relations.
 func NewSchema(n int) *Schema { return schema.New(n) }
 
-// Execute runs a plan against a synthesized database and returns the actual
-// result cardinality.
+// Execute runs a plan against a synthesized database on the vectorized
+// columnar engine and returns the actual result cardinality. For the
+// row-at-a-time executor, per-operator statistics, or adaptive mid-query
+// re-optimization, use Engine.OptimizeAndExecute.
 func Execute(db *Database, p *Plan) (int, error) {
-	return db.Count(p, engine.ExecOptions{})
+	rows, err := exec.Count(db, p, exec.Options{})
+	return int(rows), err
 }

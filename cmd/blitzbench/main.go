@@ -17,6 +17,7 @@
 //	blitzbench -exp hotpath            # serve hot paths: cache hit + cold fill, before/after
 //	blitzbench -exp enumerators        # 3^n scan vs csg–cmp enumerator: speedup by topology
 //	blitzbench -exp chaos              # crash safety: kill -9/corrupt/panic a real blitzd
+//	blitzbench -exp exec               # vectorized vs row execution + adaptive re-optimization
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -34,6 +35,7 @@
 //	-hotpath-json p write the -exp hotpath measurement artifact (BENCH_hotpath.json) to p
 //	-enum-json p    write the -exp enumerators artifact (BENCH_enumerators.json) to p
 //	-chaos-json p   write the -exp chaos artifact (BENCH_chaos.json) to p
+//	-exec-json p    write the -exp exec artifact (BENCH_exec.json) to p
 //	-enum-frontier  include the -exp enumerators large points (n=25 clique, n=40 tree; slow)
 //	-gate p         gate -exp hotpath against the artifact at p; regressions exit 1
 //	-gate-threshold f  allowed ns/op ratio over the gate baseline (default 1.6)
@@ -80,7 +82,7 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|chaos|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|chaos|exec|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
@@ -95,6 +97,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 	enumJSON := fs.String("enum-json", "", "write the -exp enumerators measurement artifact to this path")
 	enumFrontier := fs.Bool("enum-frontier", false, "include the -exp enumerators large points (n=25 clique dense, n=40 tree sparse; slow)")
 	chaosJSON := fs.String("chaos-json", "", "write the -exp chaos measurement artifact to this path")
+	execJSON := fs.String("exec-json", "", "write the -exp exec measurement artifact to this path")
 	gateJSON := fs.String("gate", "", "gate -exp hotpath against the artifact at this path; regressions exit 1")
 	gateThreshold := fs.Float64("gate-threshold", 0, "allowed ns/op ratio over the -gate baseline (0 = default 1.6)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
@@ -177,6 +180,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 		EnumJSON:      *enumJSON,
 		EnumFrontier:  *enumFrontier,
 		ChaosJSON:     *chaosJSON,
+		ExecJSON:      *execJSON,
 	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(errOut, "blitzbench:", err)

@@ -14,6 +14,7 @@
 //	-timeout d        default per-request optimization deadline (2s)
 //	-max-timeout d    cap on client-requested deadlines (30s)
 //	-max-n n          largest accepted relation count (30)
+//	-max-synth-rows n largest total base-row count /v1/execute may synthesize (~4M)
 //	-enumerator e     exact fill strategy: blitz | ccp | auto (topology-aware)
 //	-mem-budget b     per-request DP-table byte budget, e.g. 64MiB (0 = arena budget)
 //	-cache-bytes b    plan-cache byte budget, e.g. 64MiB (0 = 64MiB default)
@@ -25,7 +26,9 @@
 //	-panic-every n    chaos: panic the optimizer on every nth cold run (0 = off)
 //	-version          print version and build info, then exit
 //
-// Endpoints: POST /v1/optimize, GET /metrics, GET /debug/vars, GET /healthz,
+// Endpoints: POST /v1/optimize, POST /v1/execute (optimize + synthesize +
+// run the plan on the vectorized engine, returning actual row counts and
+// execution statistics), GET /metrics, GET /debug/vars, GET /healthz,
 // GET /readyz, and the net/http/pprof profiling suite under GET
 // /debug/pprof/ — live CPU profiles with
 //
@@ -109,6 +112,7 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	timeout := fs.Duration("timeout", 0, "default per-request optimization deadline (0 = 2s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
 	maxN := fs.Int("max-n", 0, "largest accepted relation count (0 = 30)")
+	maxSynthRows := fs.Float64("max-synth-rows", 0, "largest total base-row count /v1/execute may synthesize (0 = ~4M)")
 	enumName := fs.String("enumerator", "blitz", "exact fill strategy (blitz | ccp | auto)")
 	memBudget := fs.String("mem-budget", "", "per-request DP-table byte budget, e.g. 64MiB (empty = arena budget)")
 	cacheBytes := fs.String("cache-bytes", "", "plan-cache byte budget, e.g. 64MiB (empty = 64MiB default)")
@@ -138,6 +142,7 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		RequestTimeout:   *timeout,
 		MaxTimeout:       *maxTimeout,
 		MaxRelations:     *maxN,
+		MaxSynthRows:     *maxSynthRows,
 		Enumerator:       enum,
 		EngineOptions:    blitzsplit.EngineOptions{SelectivityQuantum: *quantum},
 		SnapshotPath:     *snapshotPath,

@@ -105,6 +105,23 @@ func TestServeDrain(t *testing.T) {
 		t.Fatalf("readyz = %d, want 200", got)
 	}
 
+	// The execute endpoint serves end to end through the daemon: actual row
+	// counts, not just a plan.
+	execBody := `{"relations":[{"name":"A","cardinality":500},{"name":"B","cardinality":400}],
+	              "joins":[{"a":"A","b":"B","selectivity":0.01}],"seed":11}`
+	resp, err := http.Post(base+"/v1/execute", "application/json", strings.NewReader(execBody))
+	if err != nil {
+		t.Fatalf("POST /v1/execute: %v", err)
+	}
+	execOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/execute = %d: %s", resp.StatusCode, execOut)
+	}
+	if !strings.Contains(string(execOut), `"rows":`) {
+		t.Errorf("/v1/execute body has no rows field: %s", execOut)
+	}
+
 	// Hold one optimization open at its first ladder rung.
 	entered := make(chan struct{})
 	gate := make(chan struct{})

@@ -71,6 +71,12 @@ type Engine struct {
 	// contend on one canonicalizer and a steady-state cache hit performs O(1)
 	// small allocations.
 	scratch sync.Pool
+	// execs, reopts, and downranks instrument OptimizeAndExecute: executions
+	// served, adaptive re-optimization events observed, and cache entries
+	// demoted after a replan proved their estimates stale (execute.go).
+	execs     atomic.Uint64
+	reopts    atomic.Uint64
+	downranks atomic.Uint64
 	// panics counts optimizer panics recovered at the engine boundary;
 	// quarThreshold and quar implement the K-strike quarantine (crash.go).
 	panics        atomic.Uint64
@@ -140,6 +146,13 @@ type EngineStats struct {
 	// Arena describes the DP-table pool. Arena.Live is the number of tables
 	// currently checked out — 0 whenever no optimization is in flight.
 	Arena core.ArenaStats
+	// Executions counts OptimizeAndExecute calls served; Reopts counts
+	// adaptive re-optimization events observed across them; PlanDownranks
+	// counts cached entries demoted because execution replanned away from
+	// their estimates.
+	Executions    uint64
+	Reopts        uint64
+	PlanDownranks uint64
 	// PanicsRecovered counts optimizer panics converted to *InternalError at
 	// the engine boundary; QuarantinedShapes is how many query shapes have
 	// hit the quarantine threshold and are being refused.
@@ -161,6 +174,9 @@ func (e *Engine) Stats() EngineStats {
 		st.Cache = e.cache.Snapshot()
 	}
 	st.Arena = e.arena.Stats()
+	st.Executions = e.execs.Load()
+	st.Reopts = e.reopts.Load()
+	st.PlanDownranks = e.downranks.Load()
 	st.PanicsRecovered = e.panics.Load()
 	e.quar.mu.Lock()
 	st.QuarantinedShapes = e.quar.quarantined

@@ -72,6 +72,9 @@ type Config struct {
 	// ChaosJSON, when nonempty, is where the chaos experiment writes its
 	// BENCH_chaos.json measurement artifact.
 	ChaosJSON string
+	// ExecJSON, when nonempty, is where the exec experiment writes its
+	// BENCH_exec.json measurement artifact.
+	ExecJSON string
 }
 
 func (c Config) n() int {
@@ -114,7 +117,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators", "chaos"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators", "chaos", "exec"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -165,6 +168,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Enumerators(cfg)
 	case "chaos":
 		err = Chaos(cfg)
+	case "exec":
+		err = Exec(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

@@ -461,6 +461,32 @@ func TestExecutionAgree(t *testing.T) {
 	}
 }
 
+// TestExecutionAgreeAdaptiveReplans plans under a wildly lying selectivity
+// but executes against data synthesized from the true one, so the adaptive
+// pass inside ExecutionAgree actually fires its greedy re-optimizer — and
+// must still count the same rows as every static execution.
+func TestExecutionAgreeAdaptiveReplans(t *testing.T) {
+	cards := []float64{2000, 2000, 600, 600, 600}
+	mkGraph := func(firstSel float64) *joingraph.Graph {
+		g := joingraph.New(5)
+		g.MustAddEdge(0, 1, firstSel)
+		g.MustAddEdge(1, 2, 1.0/600)
+		g.MustAddEdge(2, 3, 1.0/600)
+		g.MustAddEdge(3, 4, 1.0/600)
+		return g
+	}
+	truth, lie := mkGraph(1.0/40), mkGraph(1.0/4_000_000)
+	inst, err := engine.Synthesize(cards, truth, 42)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	misplanned := optimize(t, core.Query{Cards: cards, Graph: lie}, core.Options{})
+	honest := optimize(t, core.Query{Cards: cards, Graph: truth}, core.Options{})
+	if err := check.ExecutionAgree(inst, engine.ExecOptions{}, misplanned.Plan, honest.Plan); err != nil {
+		t.Fatalf("adaptive replan changed the result: %v", err)
+	}
+}
+
 // TestFullCatchesBrokenOptimizer is the end-to-end mutant test: Full must
 // reject an optimizer that returns slightly suboptimal plans.
 func TestFullCatchesBrokenOptimizer(t *testing.T) {

@@ -4,23 +4,41 @@ import (
 	"errors"
 	"fmt"
 
+	"blitzsplit/internal/baseline"
+	"blitzsplit/internal/cost"
 	"blitzsplit/internal/engine"
+	"blitzsplit/internal/exec"
+	"blitzsplit/internal/joingraph"
 	"blitzsplit/internal/plan"
 )
 
 // ExecutionAgree is the ground-truth verifier: join order is pure
 // optimization, so every well-formed plan over the same relations must
-// produce the same result set. It executes each plan against inst — under
-// every join algorithm the engine implements — and fails if any execution
-// yields a different row count than the first. Plans whose execution exceeds
-// opts.MaxRows are skipped (the row limit is an engine resource guard, not a
-// semantic difference).
+// produce the same result set. It executes each plan against inst under
+// every join algorithm of BOTH executors — the row-at-a-time engine and the
+// vectorized columnar runtime (internal/exec), plus the adaptive driver with
+// a greedy re-optimizer — and fails if any execution yields a different row
+// count than the first. Plans whose execution exceeds opts.MaxRows are
+// skipped (the row limit is an engine resource guard, not a semantic
+// difference).
 func ExecutionAgree(inst *engine.Instance, opts engine.ExecOptions, plans ...*plan.Node) error {
 	if len(plans) == 0 {
 		return fmt.Errorf("check: no plans to execute")
 	}
 	algorithms := []engine.JoinAlgorithm{engine.NestedLoopsAlg, engine.HashJoinAlg, engine.SortMergeAlg}
-	want := -1
+	xopts := exec.Options{MaxRows: opts.MaxRows}
+	want := int64(-1)
+	agree := func(pi int, label string, got int64) error {
+		if want < 0 {
+			want = got
+			return nil
+		}
+		if got != want {
+			return fmt.Errorf("check: plan %d under %s produced %d rows, earlier executions produced %d",
+				pi, label, got, want)
+		}
+		return nil
+	}
 	for pi, p := range plans {
 		for _, alg := range algorithms {
 			opts.Algorithm = alg
@@ -32,15 +50,50 @@ func ExecutionAgree(inst *engine.Instance, opts engine.ExecOptions, plans ...*pl
 			if err != nil {
 				return fmt.Errorf("check: executing plan %d under %v: %w", pi, alg, err)
 			}
-			if want < 0 {
-				want = got
+			if err := agree(pi, fmt.Sprintf("row %v", alg), int64(got)); err != nil {
+				return err
+			}
+			xopts.Algorithm = alg
+			vgot, err := exec.Count(inst, p, xopts)
+			if errors.Is(err, engine.ErrRowLimit) {
 				continue
 			}
-			if got != want {
-				return fmt.Errorf("check: plan %d under %v produced %d rows, earlier executions produced %d",
-					pi, alg, got, want)
+			if err != nil {
+				return fmt.Errorf("check: vectorized plan %d under %v: %w", pi, alg, err)
 			}
+			if err := agree(pi, fmt.Sprintf("vectorized %v", alg), vgot); err != nil {
+				return err
+			}
+		}
+		// The adaptive driver must be a pure scheduling change: same rows,
+		// whatever it replans.
+		res, err := exec.RunAdaptive(inst, p, xopts, exec.AdaptiveOptions{Reoptimize: greedyReopt})
+		if errors.Is(err, engine.ErrRowLimit) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("check: adaptive plan %d: %w", pi, err)
+		}
+		if err := agree(pi, "adaptive", res.Rows); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// greedyReopt backs ExecutionAgree's adaptive pass: plan the group query
+// with the greedy left-deep baseline — cheap, deterministic, and guaranteed
+// to exist for every group topology.
+func greedyReopt(gq exec.GroupQuery) (*plan.Node, error) {
+	g := joingraph.New(len(gq.Groups))
+	for _, e := range gq.Edges {
+		if err := g.AddEdge(e.A, e.B, e.Selectivity); err != nil {
+			return nil, err
+		}
+	}
+	res, err := baseline.GreedyLeftDeep(gq.Cards, g, cost.Naive{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
 }

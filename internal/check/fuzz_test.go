@@ -3,12 +3,18 @@ package check_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
+	"blitzsplit/internal/baseline"
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/check"
 	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/engine"
+	"blitzsplit/internal/plan"
 	"blitzsplit/internal/spec"
 	"blitzsplit/internal/testutil"
 )
@@ -235,6 +241,50 @@ func FuzzEnumerators(f *testing.F) {
 		if err := c.EnumeratorAgree(fq.Query, opts); err != nil {
 			t.Fatalf("enumerator invariant violated (n=%d, model=%s, leftDeep=%v): %v",
 				len(fq.Query.Cards), fq.Model.Name(), fq.LeftDeep, err)
+		}
+	})
+}
+
+// FuzzExecVectorized is the executor differential: decode arbitrary bytes
+// into a query, synthesize a small instance, and demand that the vectorized
+// columnar executor, the row-at-a-time engine (all three join algorithms
+// each), and the adaptive re-optimizing driver all report bit-equal row
+// counts on the optimal and a random plan. Row-limit aborts are skipped —
+// the guard is a resource bound, not a semantic difference.
+//
+//	go test -fuzz=FuzzExecVectorized -fuzztime=30s ./internal/check/
+func FuzzExecVectorized(f *testing.F) {
+	f.Add([]byte{})                             // n=1, empty relation
+	f.Add([]byte{3, 4, 4, 4, 1, 1, 2, 3, 0})    // 4 relations, small graph
+	f.Add([]byte{7, 4, 4, 4, 4, 4, 4, 4, 4, 0}) // 8-way Cartesian product
+	f.Add([]byte{5, 6, 6, 6, 6, 6, 1, 9, 1, 3, 2, 7, 0, 2, 1})
+	f.Add([]byte{2, 4, 5, 1, 1, 0, 1})                     // 3 relations, one edge
+	f.Add([]byte{4, 3, 0, 5, 6, 1, 4, 2, 1, 3, 7, 2, 255}) // empty relation in a join
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fq := testutil.QueryFromBytes(data)
+		// The palette reaches 1e30-row relations; clamp to executable sizes
+		// while keeping the 0/1/2-row edge cases reachable.
+		cards := make([]float64, len(fq.Query.Cards))
+		for i, c := range fq.Query.Cards {
+			cards[i] = math.Trunc(math.Mod(c, 37))
+		}
+		rng := rand.New(rand.NewSource(fq.Aux))
+		inst, err := engine.SynthesizeRand(cards, fq.Query.Graph, rng)
+		if err != nil {
+			t.Fatalf("synthesize: %v", err)
+		}
+		var plans []*plan.Node
+		if res, err := core.Optimize(core.Query{Cards: cards, Graph: fq.Query.Graph}, core.Options{}); err == nil {
+			plans = append(plans, res.Plan)
+		}
+		if fq.Query.Graph != nil {
+			plans = append(plans, baseline.RandomPlan(cards, fq.Query.Graph, cost.Naive{}, rng))
+		}
+		if len(plans) == 0 {
+			return
+		}
+		if err := check.ExecutionAgree(inst, engine.ExecOptions{MaxRows: 4096}, plans...); err != nil {
+			t.Fatalf("executors disagree (n=%d): %v", len(cards), err)
 		}
 	})
 }

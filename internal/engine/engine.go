@@ -189,8 +189,11 @@ func scan(rel *Relation, relIdx int) *Batch {
 	for i, n := range names {
 		cols[i] = rel.Cols[n]
 	}
+	// One slab for all rows: a scan costs two allocations instead of one per
+	// tuple, and the rows land contiguous in memory.
+	flat := make([]int64, rel.Rows()*len(names))
 	for r := 0; r < rel.Rows(); r++ {
-		row := make([]int64, len(names))
+		row := flat[r*len(names) : (r+1)*len(names) : (r+1)*len(names)]
 		for c := range names {
 			row[c] = cols[c][r]
 		}
@@ -202,6 +205,40 @@ func scan(rel *Relation, relIdx int) *Batch {
 // equiPred is a resolved equi-join predicate between two batch columns.
 type equiPred struct {
 	lcol, rcol int
+}
+
+// resolvedEdge is a join-graph edge with both qualified column names
+// formatted once per execution, so per-node predicate resolution never
+// walks the graph or formats strings.
+type resolvedEdge struct {
+	a, b       int
+	aCol, bCol string
+}
+
+// execState is per-execution scratch: the resolved edge list and a reusable
+// predicate slice. One is built per Execute call and threaded through the
+// recursion; the preds slice is consumed by each join before the next
+// spanningPreds call, so sharing it is safe.
+type execState struct {
+	edges []resolvedEdge
+	preds []equiPred
+}
+
+func (inst *Instance) newExecState() *execState {
+	st := &execState{}
+	if inst.Graph != nil {
+		edges := inst.Graph.Edges()
+		st.edges = make([]resolvedEdge, len(edges))
+		for i, e := range edges {
+			col := JoinColumn(e.A, e.B)
+			st.edges[i] = resolvedEdge{
+				a: e.A, b: e.B,
+				aCol: fmt.Sprintf("%d.%s", e.A, col),
+				bCol: fmt.Sprintf("%d.%s", e.B, col),
+			}
+		}
+	}
+	return st
 }
 
 // JoinAlgorithm selects the physical operator for Execute.
@@ -278,25 +315,25 @@ func (inst *Instance) Execute(p *plan.Node, opts ExecOptions) (*Batch, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return inst.exec(p, opts)
+	return inst.exec(p, opts, inst.newExecState())
 }
 
-func (inst *Instance) exec(p *plan.Node, opts ExecOptions) (*Batch, error) {
+func (inst *Instance) exec(p *plan.Node, opts ExecOptions, st *execState) (*Batch, error) {
 	if p.IsLeaf() {
 		if p.Rel < 0 || p.Rel >= len(inst.Relations) {
 			return nil, fmt.Errorf("engine: plan references unknown relation %d", p.Rel)
 		}
 		return scan(inst.Relations[p.Rel], p.Rel), nil
 	}
-	left, err := inst.exec(p.Left, opts)
+	left, err := inst.exec(p.Left, opts, st)
 	if err != nil {
 		return nil, err
 	}
-	right, err := inst.exec(p.Right, opts)
+	right, err := inst.exec(p.Right, opts, st)
 	if err != nil {
 		return nil, err
 	}
-	preds := inst.spanningPreds(p, left, right)
+	preds := st.spanningPreds(p, left, right)
 	alg := opts.Algorithm
 	if opts.UsePlanAlgorithms && p.Algorithm != "" {
 		alg = AlgorithmByName(p.Algorithm)
@@ -317,24 +354,26 @@ func (inst *Instance) exec(p *plan.Node, opts ExecOptions) (*Batch, error) {
 }
 
 // spanningPreds resolves the predicates spanning the node's children into
-// column-index pairs.
-func (inst *Instance) spanningPreds(p *plan.Node, left, right *Batch) []equiPred {
-	if inst.Graph == nil {
-		return nil
+// column-index pairs, reusing the execution's scratch slice: one pass over
+// the pre-resolved edges, no graph walk, no string formatting per node.
+func (st *execState) spanningPreds(p *plan.Node, left, right *Batch) []equiPred {
+	st.preds = st.preds[:0]
+	for _, e := range st.edges {
+		var lname, rname string
+		switch {
+		case p.Left.Set.Has(e.a) && p.Right.Set.Has(e.b):
+			lname, rname = e.aCol, e.bCol
+		case p.Left.Set.Has(e.b) && p.Right.Set.Has(e.a):
+			lname, rname = e.bCol, e.aCol
+		default:
+			continue
+		}
+		lc, rc := left.Col(lname), right.Col(rname)
+		if lc >= 0 && rc >= 0 {
+			st.preds = append(st.preds, equiPred{lcol: lc, rcol: rc})
+		}
 	}
-	var preds []equiPred
-	p.Left.Set.ForEach(func(i int) {
-		cross := inst.Graph.Neighbors(i).Intersect(p.Right.Set)
-		cross.ForEach(func(j int) {
-			col := JoinColumn(i, j)
-			lc := left.Col(fmt.Sprintf("%d.%s", i, col))
-			rc := right.Col(fmt.Sprintf("%d.%s", j, col))
-			if lc >= 0 && rc >= 0 {
-				preds = append(preds, equiPred{lcol: lc, rcol: rc})
-			}
-		})
-	})
-	return preds
+	return st.preds
 }
 
 func outputBatch(left, right *Batch) *Batch {

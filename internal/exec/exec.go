@@ -1,0 +1,596 @@
+// Package exec is the columnar execution runtime: the vectorized counterpart
+// of internal/engine's row-at-a-time executor. It runs the same bushy plan
+// trees over the same synthesized instances (engine.Instance stays the data
+// layer) but stores intermediate results column-major, joins with a presized
+// bucket-chained hash table probed in bounded batches, filters residual
+// predicates through selection vectors, and materializes output by gathering
+// match-index vectors — no per-row allocations, no string keys.
+//
+// The package has two drivers. Run executes a plan statically. RunAdaptive
+// (adaptive.go) executes bottom-up while comparing observed intermediate
+// cardinalities against the plan's estimates; when an estimate is off by more
+// than a configured ratio it re-optimizes the remaining work through a
+// caller-supplied ReoptFunc and splices the new subplan in (plan.Splice).
+//
+// Row-count semantics are bit-equal to internal/engine under every algorithm
+// — check.ExecutionAgree and FuzzExecVectorized enforce the equivalence.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"blitzsplit/internal/bitset"
+	"blitzsplit/internal/engine"
+	"blitzsplit/internal/faultinject"
+	"blitzsplit/internal/plan"
+)
+
+// Algorithm selects the physical join operator; it is the engine's enum so
+// the two executors share plan annotations and option plumbing.
+type Algorithm = engine.JoinAlgorithm
+
+// DefaultBatchSize bounds how many probe rows a join processes per batch when
+// Options.BatchSize is zero.
+const DefaultBatchSize = 1024
+
+// defaultMaxRows mirrors engine.ExecOptions: the intermediate-result guard
+// applied when Options.MaxRows is zero.
+const defaultMaxRows = 10_000_000
+
+// ColID names a column of an intermediate result: the base relation it came
+// from plus the relation-local column name. Unlike the row engine's
+// "<rel>.<name>" strings, resolving a ColID allocates nothing.
+type ColID struct {
+	Rel  int
+	Name string
+}
+
+// Table is a column-major intermediate result. Leaf tables alias the
+// instance's relation columns (zero copy); join outputs own freshly gathered
+// columns.
+type Table struct {
+	ids  []ColID
+	cols [][]int64
+	idx  map[ColID]int
+	rows int
+}
+
+// Rows returns the tuple count.
+func (t *Table) Rows() int { return t.rows }
+
+// Column returns the values of the identified column and whether it exists.
+// The slice is the table's storage — callers must not mutate it.
+func (t *Table) Column(id ColID) ([]int64, bool) {
+	i, ok := t.idx[id]
+	if !ok {
+		return nil, false
+	}
+	return t.cols[i], true
+}
+
+func newTable(ids []ColID, cols [][]int64, rows int) *Table {
+	t := &Table{ids: ids, cols: cols, idx: make(map[ColID]int, len(ids)), rows: rows}
+	for i, id := range ids {
+		t.idx[id] = i
+	}
+	return t
+}
+
+// Options configures execution. The zero value matches the row engine's
+// defaults: hash joins, plan annotations ignored, 10M-row guard.
+type Options struct {
+	// Algorithm is the default physical join operator. When UsePlanAlgorithms
+	// is set and a node carries an Algorithm annotation, the annotation wins.
+	Algorithm Algorithm
+	// UsePlanAlgorithms honours per-node Algorithm annotations (§6.5).
+	UsePlanAlgorithms bool
+	// MaxRows aborts execution with engine.ErrRowLimit when an intermediate
+	// result exceeds this many tuples (0 means 10 million).
+	MaxRows int
+	// BatchSize bounds the rows a join probes per batch (0 means
+	// DefaultBatchSize).
+	BatchSize int
+	// CollectOps records a per-operator breakdown in Stats.Ops.
+	CollectOps bool
+}
+
+func (o Options) maxRows() int {
+	if o.MaxRows <= 0 {
+		return defaultMaxRows
+	}
+	return o.MaxRows
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// OpStats is the per-operator entry of Stats.Ops.
+type OpStats struct {
+	// Kind is "scan", "hash", "sortmerge", or "nestedloops".
+	Kind string `json:"kind"`
+	// Set is the relation set the operator computed.
+	Set bitset.Set `json:"set"`
+	// Rows is the operator's output cardinality; Estimated is the plan's
+	// estimate for the same set (0 for scans of estimate-free leaves).
+	Rows      int64   `json:"rows"`
+	Estimated float64 `json:"estimated"`
+	// Batches counts probe batches (or run blocks); Nanos is wall time.
+	Batches int64 `json:"batches"`
+	Nanos   int64 `json:"nanos"`
+}
+
+// Stats aggregates one execution.
+type Stats struct {
+	// Rows is the final result cardinality.
+	Rows int64 `json:"rows"`
+	// Joins counts join operators executed; IntermediateRows sums their
+	// output rows excluding the final result — the quantity adaptive
+	// re-optimization tries to shrink.
+	Joins            int   `json:"joins"`
+	IntermediateRows int64 `json:"intermediate_rows"`
+	// Batches counts probe batches across all operators; Nanos is total wall
+	// time inside the executor.
+	Batches int64 `json:"batches"`
+	Nanos   int64 `json:"nanos"`
+	// Ops is the per-operator breakdown, present under Options.CollectOps.
+	Ops []OpStats `json:"ops,omitempty"`
+}
+
+// Result is one finished execution.
+type Result struct {
+	// Rows is the final cardinality; Table the materialized result.
+	Rows  int64
+	Table *Table
+	// Stats instruments the run. Plan is the tree actually executed — it
+	// differs from the input only when RunAdaptive replanned mid-query.
+	Stats Stats
+	Plan  *plan.Node
+	// Events records adaptive re-optimization triggers (empty for Run).
+	Events []ReoptEvent
+}
+
+// pred is one resolved equi-join predicate: the two column vectors to
+// compare, already looked up so join inner loops touch no maps.
+type pred struct {
+	l, r []int64
+}
+
+// edgePred is a graph edge with its join-column name resolved once per
+// execution, so per-node predicate resolution is a scan over E edges with no
+// string formatting — the vectorized analogue of the row engine's
+// predScratch.
+type edgePred struct {
+	a, b int
+	col  string
+	sel  float64
+}
+
+// executor carries one execution's scratch: resolved edges, the predicate
+// slice, hash and selection buffers, and match-index vectors, all reused
+// across join nodes.
+type executor struct {
+	inst    *engine.Instance
+	opts    Options
+	batch   int
+	maxRows int
+	edges   []edgePred
+	preds   []pred
+	hbuf    []uint64
+	sel     []int32
+	lidx    []int32
+	ridx    []int32
+	stats   Stats
+}
+
+func newExecutor(inst *engine.Instance, opts Options) (*executor, error) {
+	if inst == nil {
+		return nil, errors.New("exec: nil instance")
+	}
+	x := &executor{inst: inst, opts: opts, batch: opts.batchSize(), maxRows: opts.maxRows()}
+	if g := inst.Graph; g != nil {
+		edges := g.Edges()
+		x.edges = make([]edgePred, len(edges))
+		for i, e := range edges {
+			x.edges[i] = edgePred{a: e.A, b: e.B, col: engine.JoinColumn(e.A, e.B), sel: e.Selectivity}
+		}
+	}
+	return x, nil
+}
+
+// Run executes a plan tree against the instance and returns the materialized
+// result. Execution is bottom-up and static; see RunAdaptive for the
+// re-optimizing driver.
+func Run(inst *engine.Instance, p *plan.Node, opts Options) (*Result, error) {
+	x, err := newExecutor(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validatePlan(p); err != nil {
+		return nil, err
+	}
+	faultinject.Inject(faultinject.ExecRun)
+	start := time.Now()
+	t, err := x.node(p)
+	if err != nil {
+		return nil, err
+	}
+	x.finish(t, start)
+	return &Result{Rows: int64(t.rows), Table: t, Stats: x.stats, Plan: p}, nil
+}
+
+// Count is Run returning only the result cardinality.
+func Count(inst *engine.Instance, p *plan.Node, opts Options) (int64, error) {
+	r, err := Run(inst, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return r.Rows, nil
+}
+
+func validatePlan(p *plan.Node) error {
+	if p == nil {
+		return errors.New("exec: nil plan")
+	}
+	return p.Validate()
+}
+
+// finish closes the aggregate stats: total wall time, final cardinality, and
+// the intermediate-row sum (joins counted their outputs; the root's rows are
+// a result, not an intermediate).
+func (x *executor) finish(root *Table, start time.Time) {
+	x.stats.Nanos = time.Since(start).Nanoseconds()
+	x.stats.Rows = int64(root.rows)
+	if x.stats.Joins > 0 {
+		x.stats.IntermediateRows -= int64(root.rows)
+	}
+}
+
+// node executes the subtree rooted at p.
+func (x *executor) node(p *plan.Node) (*Table, error) {
+	if p.IsLeaf() {
+		return x.scan(p)
+	}
+	left, err := x.node(p.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := x.node(p.Right)
+	if err != nil {
+		return nil, err
+	}
+	return x.join(p, left, right)
+}
+
+// scan materializes a leaf as zero-copy views over the relation's columns.
+func (x *executor) scan(p *plan.Node) (*Table, error) {
+	if p.Rel < 0 || p.Rel >= len(x.inst.Relations) {
+		return nil, fmt.Errorf("exec: plan references unknown relation %d", p.Rel)
+	}
+	start := time.Now()
+	rel := x.inst.Relations[p.Rel]
+	names := rel.ColNames()
+	ids := make([]ColID, len(names))
+	cols := make([][]int64, len(names))
+	for i, n := range names {
+		ids[i] = ColID{Rel: p.Rel, Name: n}
+		cols[i] = rel.Cols[n]
+	}
+	t := newTable(ids, cols, rel.Rows())
+	x.record("scan", p, t, start)
+	return t, nil
+}
+
+// join executes one join node over already-materialized children.
+func (x *executor) join(p *plan.Node, left, right *Table) (*Table, error) {
+	start := time.Now()
+	preds := x.spanning(left, right, p.Left.Set, p.Right.Set)
+	alg := x.opts.Algorithm
+	if x.opts.UsePlanAlgorithms && p.Algorithm != "" {
+		alg = engine.AlgorithmByName(p.Algorithm)
+	}
+	var (
+		out  *Table
+		kind string
+		err  error
+	)
+	switch {
+	case len(preds) == 0 || alg == engine.NestedLoopsAlg:
+		kind = "nestedloops"
+		out, err = x.nestedLoops(left, right, preds)
+	case alg == engine.SortMergeAlg:
+		kind = "sortmerge"
+		out, err = x.sortMerge(left, right, preds)
+	default:
+		kind = "hash"
+		out, err = x.hashJoin(left, right, preds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	x.stats.Joins++
+	x.stats.IntermediateRows += int64(out.rows)
+	x.record(kind, p, out, start)
+	return out, nil
+}
+
+func (x *executor) record(kind string, p *plan.Node, t *Table, start time.Time) {
+	if !x.opts.CollectOps {
+		return
+	}
+	x.stats.Ops = append(x.stats.Ops, OpStats{
+		Kind:      kind,
+		Set:       p.Set,
+		Rows:      int64(t.rows),
+		Estimated: p.Card,
+		Batches:   x.stats.Batches,
+		Nanos:     time.Since(start).Nanoseconds(),
+	})
+}
+
+// spanning resolves the predicates crossing the (left, right) relation sets
+// into column-vector pairs, reusing the executor's scratch slice. One pass
+// over the pre-resolved edge list — no graph walks, no name formatting.
+func (x *executor) spanning(left, right *Table, lset, rset bitset.Set) []pred {
+	x.preds = x.preds[:0]
+	for _, e := range x.edges {
+		var lid, rid ColID
+		switch {
+		case lset.Has(e.a) && rset.Has(e.b):
+			lid, rid = ColID{e.a, e.col}, ColID{e.b, e.col}
+		case lset.Has(e.b) && rset.Has(e.a):
+			lid, rid = ColID{e.b, e.col}, ColID{e.a, e.col}
+		default:
+			continue
+		}
+		lc, lok := left.Column(lid)
+		rc, rok := right.Column(rid)
+		if lok && rok {
+			x.preds = append(x.preds, pred{l: lc, r: rc})
+		}
+	}
+	return x.preds
+}
+
+// appendPair records one (left-row, right-row) match, enforcing the row
+// limit with the engine's strictly-greater semantics.
+func (x *executor) appendPair(l, r int32) error {
+	x.lidx = append(x.lidx, l)
+	x.ridx = append(x.ridx, r)
+	if len(x.lidx) > x.maxRows {
+		return engine.ErrRowLimit
+	}
+	return nil
+}
+
+// gather materializes the accumulated match-index vectors into a fresh
+// column-major table: every output column is one tight gather loop.
+func (x *executor) gather(left, right *Table) *Table {
+	n := len(x.lidx)
+	ids := make([]ColID, 0, len(left.ids)+len(right.ids))
+	ids = append(ids, left.ids...)
+	ids = append(ids, right.ids...)
+	cols := make([][]int64, 0, len(ids))
+	for _, src := range left.cols {
+		dst := make([]int64, n)
+		for k, idx := range x.lidx {
+			dst[k] = src[idx]
+		}
+		cols = append(cols, dst)
+	}
+	for _, src := range right.cols {
+		dst := make([]int64, n)
+		for k, idx := range x.ridx {
+			dst[k] = src[idx]
+		}
+		cols = append(cols, dst)
+	}
+	return newTable(ids, cols, n)
+}
+
+// hashes computes one 64-bit hash per row of cols[lo:hi], column at a time,
+// into the executor's reusable buffer.
+func (x *executor) hashes(cols [][]int64, lo, hi int) []uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	n := hi - lo
+	if cap(x.hbuf) < n {
+		x.hbuf = make([]uint64, n)
+	}
+	h := x.hbuf[:n]
+	for i := range h {
+		h[i] = offset64
+	}
+	for _, c := range cols {
+		seg := c[lo:hi]
+		for i, v := range seg {
+			hv := h[i] ^ uint64(v)
+			h[i] = hv * prime64
+		}
+	}
+	return h
+}
+
+// hashJoin builds a presized bucket-chained hash table on the smaller input
+// — slot heads plus an int32 next-chain, capacity the next power of two at
+// least twice the build cardinality — and probes the larger side in batches:
+// hash a batch column-at-a-time, walk chains, verify key equality on the raw
+// column vectors (collision safe), and emit match pairs.
+func (x *executor) hashJoin(left, right *Table, preds []pred) (*Table, error) {
+	buildLeft := left.rows <= right.rows
+	bcols := make([][]int64, len(preds))
+	pcols := make([][]int64, len(preds))
+	for i, p := range preds {
+		if buildLeft {
+			bcols[i], pcols[i] = p.l, p.r
+		} else {
+			bcols[i], pcols[i] = p.r, p.l
+		}
+	}
+	build, probe := left, right
+	if !buildLeft {
+		build, probe = right, left
+	}
+
+	n := build.rows
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	heads := make([]int32, size)
+	for i := range heads {
+		heads[i] = -1
+	}
+	next := make([]int32, n)
+	bh := x.hashes(bcols, 0, n)
+	for r := 0; r < n; r++ {
+		slot := bh[r] & mask
+		next[r] = heads[slot]
+		heads[slot] = int32(r)
+	}
+
+	x.lidx, x.ridx = x.lidx[:0], x.ridx[:0]
+	for base := 0; base < probe.rows; base += x.batch {
+		end := min(base+x.batch, probe.rows)
+		ph := x.hashes(pcols, base, end)
+		x.stats.Batches++
+		for r := base; r < end; r++ {
+			for idx := heads[ph[r-base]&mask]; idx >= 0; idx = next[idx] {
+				match := true
+				for k := range bcols {
+					if bcols[k][idx] != pcols[k][r] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				var err error
+				if buildLeft {
+					err = x.appendPair(idx, int32(r))
+				} else {
+					err = x.appendPair(int32(r), idx)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return x.gather(left, right), nil
+}
+
+// filterSel compacts the selection vector to the right-side rows whose
+// residual predicate columns equal the left row's values.
+func (x *executor) filterSel(preds []pred, lrow int32) {
+	for _, p := range preds {
+		lv := p.l[lrow]
+		keep := x.sel[:0]
+		for _, rb := range x.sel {
+			if p.r[rb] == lv {
+				keep = append(keep, rb)
+			}
+		}
+		x.sel = keep
+	}
+}
+
+// nestedLoops joins by comparing every pair, batching the inner side: each
+// batch builds a selection vector from the first predicate and compacts it
+// through the rest, so residual filtering never materializes rejected rows.
+// With no predicates it is the Cartesian product.
+func (x *executor) nestedLoops(left, right *Table, preds []pred) (*Table, error) {
+	x.lidx, x.ridx = x.lidx[:0], x.ridx[:0]
+	for l := 0; l < left.rows; l++ {
+		for base := 0; base < right.rows; base += x.batch {
+			end := min(base+x.batch, right.rows)
+			x.stats.Batches++
+			if len(preds) == 0 {
+				for r := base; r < end; r++ {
+					if err := x.appendPair(int32(l), int32(r)); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			p0 := preds[0]
+			lv := p0.l[l]
+			x.sel = x.sel[:0]
+			for r := base; r < end; r++ {
+				if p0.r[r] == lv {
+					x.sel = append(x.sel, int32(r))
+				}
+			}
+			x.filterSel(preds[1:], int32(l))
+			for _, r := range x.sel {
+				if err := x.appendPair(int32(l), r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return x.gather(left, right), nil
+}
+
+// argsort returns row indices of keys in ascending key order.
+func argsort(keys []int64) []int32 {
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}
+
+// sortMerge sorts both inputs on the first predicate's key (via index
+// permutations — the columns themselves never move) and merges equal-key
+// runs; residual predicates filter each run block through the selection
+// vector.
+func (x *executor) sortMerge(left, right *Table, preds []pred) (*Table, error) {
+	p0 := preds[0]
+	lp := argsort(p0.l)
+	rp := argsort(p0.r)
+	x.lidx, x.ridx = x.lidx[:0], x.ridx[:0]
+	i, j := 0, 0
+	for i < len(lp) && j < len(rp) {
+		lv, rv := p0.l[lp[i]], p0.r[rp[j]]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			i2 := i
+			for i2 < len(lp) && p0.l[lp[i2]] == lv {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rp) && p0.r[rp[j2]] == rv {
+				j2++
+			}
+			x.stats.Batches++
+			for a := i; a < i2; a++ {
+				la := lp[a]
+				x.sel = append(x.sel[:0], rp[j:j2]...)
+				x.filterSel(preds[1:], la)
+				for _, rb := range x.sel {
+					if err := x.appendPair(la, rb); err != nil {
+						return nil, err
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return x.gather(left, right), nil
+}

@@ -43,6 +43,10 @@ const (
 	// ServerRequest fires inside the HTTP optimize handler after decode,
 	// inside the server's per-request recovery boundary.
 	ServerRequest Point = "server.request"
+	// ExecRun fires at the start of every vectorized plan execution
+	// (internal/exec), inside the facade's panic-recovery boundary, so tests
+	// can exercise the executor's recover → *InternalError → quarantine path.
+	ExecRun Point = "exec.run"
 	// SnapshotWriteRecord fires (as an error point) before each record the
 	// plan-cache snapshot writer emits, simulating an IO error mid-write.
 	SnapshotWriteRecord Point = "snapshot.write.record"

@@ -1,0 +1,84 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Splice expands a group-level skeleton into a full plan: every skeleton
+// leaf with Rel == i is replaced by parts[i], and each inner node's relation
+// set becomes the union of its expanded children. It is the re-optimization
+// half of adaptive execution — the engine plans over groups (materialized
+// subtrees and not-yet-joined base relations collapsed to single "relations"
+// with observed cardinalities), and Splice grafts the winning group order
+// back onto the real subplans.
+//
+// Cardinalities come from the skeleton (they were estimated from the groups'
+// observed cardinalities, so they are fresher than anything the original
+// plan carried). Costs are rebased so Validate's monotonicity invariant
+// holds: a spliced node costs its expanded children plus the skeleton node's
+// own local increment, clamped at zero.
+//
+// The skeleton must reference every part exactly once and parts must cover
+// pairwise-disjoint relation sets; violations return an error. The input
+// trees are not mutated — spliced inner nodes are fresh, and parts are
+// shared into the result as-is.
+func Splice(skeleton *Node, parts []*Node) (*Node, error) {
+	used := make([]bool, len(parts))
+	out, err := splice(skeleton, parts, used)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("plan: skeleton never references part %d", i)
+		}
+	}
+	return out, nil
+}
+
+func splice(skeleton *Node, parts []*Node, used []bool) (*Node, error) {
+	if skeleton == nil {
+		return nil, errors.New("plan: nil skeleton")
+	}
+	if skeleton.IsLeaf() {
+		i := skeleton.Rel
+		if i < 0 || i >= len(parts) || parts[i] == nil {
+			return nil, fmt.Errorf("plan: skeleton references unknown part %d", i)
+		}
+		if used[i] {
+			return nil, fmt.Errorf("plan: skeleton references part %d twice", i)
+		}
+		used[i] = true
+		return parts[i], nil
+	}
+	l, err := splice(skeleton.Left, parts, used)
+	if err != nil {
+		return nil, err
+	}
+	r, err := splice(skeleton.Right, parts, used)
+	if err != nil {
+		return nil, err
+	}
+	if l.Set.Overlaps(r.Set) {
+		return nil, fmt.Errorf("plan: spliced subplans overlap on %v", l.Set.Intersect(r.Set))
+	}
+	inc := skeleton.Cost
+	if skeleton.Left != nil {
+		inc -= skeleton.Left.Cost
+	}
+	if skeleton.Right != nil {
+		inc -= skeleton.Right.Cost
+	}
+	if inc < 0 {
+		inc = 0
+	}
+	return &Node{
+		Set:       l.Set.Union(r.Set),
+		Card:      skeleton.Card,
+		Cost:      l.Cost + r.Cost + inc,
+		Algorithm: skeleton.Algorithm,
+		Left:      l,
+		Right:     r,
+	}, nil
+}

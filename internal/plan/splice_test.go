@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"blitzsplit/internal/bitset"
+)
+
+// skeleton2 builds the group-level tree ((0 1) 2) with the given cards.
+func spliceSkeleton() *Node {
+	l01 := &Node{Set: bitset.Of(0, 1), Card: 50, Cost: 50,
+		Left: Leaf(0, 10), Right: Leaf(1, 20)}
+	return &Node{Set: bitset.Of(0, 1, 2), Card: 5, Cost: 55,
+		Left: l01, Right: Leaf(2, 30)}
+}
+
+func spliceParts() []*Node {
+	// Part 0 is itself a join over original relations {3,4}; parts 1 and 2
+	// are base leaves.
+	p0 := &Node{Set: bitset.Of(3, 4), Card: 10, Cost: 12,
+		Left: Leaf(3, 4), Right: Leaf(4, 5)}
+	return []*Node{p0, Leaf(0, 20), Leaf(1, 30)}
+}
+
+func TestSplice(t *testing.T) {
+	out, err := Splice(spliceSkeleton(), spliceParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("spliced plan invalid: %v\n%v", err, out)
+	}
+	if want := bitset.Of(0, 1, 3, 4); out.Set != want {
+		t.Fatalf("root set %v, want %v", out.Set, want)
+	}
+	// Cards come from the skeleton; costs are children plus the skeleton's
+	// local increment (root increment 55-50-0 = 5 atop 12+0+50... inner node
+	// 50-0-0=50 atop 12).
+	if out.Card != 5 {
+		t.Fatalf("root card %v, want 5", out.Card)
+	}
+	if out.Left.Cost != 62 || out.Cost != 67 {
+		t.Fatalf("costs (%v, %v), want (62, 67)", out.Left.Cost, out.Cost)
+	}
+	// Parts are shared, not copied.
+	if out.Right != spliceParts()[2] && out.Right.Rel != 1 {
+		t.Fatalf("leaf part not spliced in place: %+v", out.Right)
+	}
+}
+
+func TestSpliceErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		skeleton *Node
+		parts    []*Node
+		want     string
+	}{
+		{"nil skeleton", nil, spliceParts(), "nil skeleton"},
+		{"out of range part", Leaf(7, 1), spliceParts(), "unknown part"},
+		{"nil part", Leaf(0, 1), []*Node{nil}, "unknown part"},
+		{"duplicate reference",
+			&Node{Set: bitset.Of(0), Card: 1, Cost: 1, Left: Leaf(0, 1), Right: Leaf(0, 1)},
+			spliceParts(), "twice"},
+		{"unused part", Leaf(0, 1), spliceParts(), "never references"},
+		{"overlapping parts",
+			&Node{Set: bitset.Of(0, 1), Card: 1, Cost: 1, Left: Leaf(0, 1), Right: Leaf(1, 1)},
+			[]*Node{Leaf(5, 1), Leaf(5, 1)}, "overlap"},
+	}
+	for _, tc := range cases {
+		_, err := Splice(tc.skeleton, tc.parts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSpliceCostMonotone: even a skeleton with a locally negative increment
+// (inconsistent bookkeeping from an estimator) must produce a Validate-clean
+// tree.
+func TestSpliceCostMonotone(t *testing.T) {
+	sk := &Node{Set: bitset.Of(0, 1), Card: 1, Cost: 0, // cost below children's
+		Left:  &Node{Set: bitset.Of(0), Rel: 0, Card: 1, Cost: 9},
+		Right: Leaf(1, 1)}
+	sk.Left.Left, sk.Left.Right = nil, nil
+	out, err := Splice(sk, []*Node{Leaf(2, 5), Leaf(3, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("spliced plan invalid: %v", err)
+	}
+}

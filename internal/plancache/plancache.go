@@ -40,6 +40,10 @@ type Stats struct {
 	// Evictions counts entries dropped to make room; Rejects counts entries
 	// refused outright because they alone exceed a shard's byte budget.
 	Evictions, Rejects uint64
+	// Downranks counts entries demoted to eviction candidates (Downrank) —
+	// the adaptive executor's signal that a cached plan misestimated at
+	// execution time.
+	Downranks uint64
 	// Entries and Bytes are the current footprint; Capacity and Shards echo
 	// the configuration.
 	Entries  int
@@ -62,17 +66,18 @@ type lruNode struct {
 }
 
 type shard struct {
-	mu       sync.Mutex
-	m        map[string]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode // least recently used
-	bytes    uint64
-	maxBytes uint64
-	hits     uint64
-	misses   uint64
-	puts     uint64
-	evicts   uint64
-	rejects  uint64
+	mu        sync.Mutex
+	m         map[string]*lruNode
+	head      *lruNode // most recently used
+	tail      *lruNode // least recently used
+	bytes     uint64
+	maxBytes  uint64
+	hits      uint64
+	misses    uint64
+	puts      uint64
+	evicts    uint64
+	rejects   uint64
+	downranks uint64
 }
 
 // New returns a cache bounded to maxBytes split across the given number of
@@ -190,6 +195,25 @@ func (c *Cache) put(key string, e Entry) bool {
 	return true
 }
 
+// Downrank demotes the entry stored under key to its shard's
+// least-recently-used position, making it the next eviction victim, and
+// reports whether the key was present. The adaptive executor calls it when a
+// cached plan's estimates proved stale at execution time: the entry stays
+// servable (a reoptimized shape may still beat a cold run), but it no longer
+// outlives fresher plans under byte pressure.
+func (c *Cache) Downrank(key string) bool {
+	s := shardFor(c, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	s.downranks++
+	s.moveToBack(n)
+	return true
+}
+
 // Snapshot aggregates counters and footprint across all shards. The sums are
 // taken shard by shard under each shard's lock, so concurrent traffic can
 // move counts between the reads — every individual counter is exact, the
@@ -205,6 +229,7 @@ func (c *Cache) Snapshot() Stats {
 		st.Puts += s.puts
 		st.Evictions += s.evicts
 		st.Rejects += s.rejects
+		st.Downranks += s.downranks
 		st.Entries += len(s.m)
 		st.Bytes += s.bytes
 		st.Capacity += s.maxBytes
@@ -245,6 +270,21 @@ func (s *shard) moveToFront(n *lruNode) {
 	}
 	s.unlink(n)
 	s.pushFront(n)
+}
+
+func (s *shard) moveToBack(n *lruNode) {
+	if s.tail == n {
+		return
+	}
+	s.unlink(n)
+	n.prev = s.tail
+	if s.tail != nil {
+		s.tail.next = n
+	}
+	s.tail = n
+	if s.head == nil {
+		s.head = n
+	}
 }
 
 // entryBytes estimates an entry's resident size: the key string, the plan

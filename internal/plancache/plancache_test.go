@@ -241,3 +241,55 @@ func TestGetBytesMatchesGet(t *testing.T) {
 		t.Fatalf("GetBytes hit allocated %.0f times per op, want 0", got)
 	}
 }
+
+// TestDownrank: a downranked entry stays servable but becomes the next
+// eviction victim regardless of its recency.
+func TestDownrank(t *testing.T) {
+	perEntry := entryBytes("k0", Entry{})
+	c := New(perEntry*3, 1)
+	c.Put("k0", Entry{Cost: 0})
+	c.Put("k1", Entry{Cost: 1})
+	c.Put("k2", Entry{Cost: 2})
+	// k2 is most recent; downranking moves it behind k0.
+	if !c.Downrank("k2") {
+		t.Fatal("Downrank(k2) reported the key missing")
+	}
+	if c.Downrank("nope") {
+		t.Fatal("Downrank invented a key")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("downranked entry must remain servable")
+	}
+	// Serving k2 re-promoted it; downrank again, then overflow the budget.
+	if !c.Downrank("k2") {
+		t.Fatal("second Downrank(k2) failed")
+	}
+	c.Put("k3", Entry{Cost: 3})
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("downranked k2 should have been the eviction victim")
+	}
+	for _, k := range []string{"k0", "k1", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if st := c.Snapshot(); st.Downranks != 2 || st.Evictions != 1 {
+		t.Fatalf("want 2 downranks, 1 eviction: %+v", st)
+	}
+}
+
+// TestDownrankSingleEntry: downranking the only (head == tail) entry is a
+// no-op structurally and must not corrupt the list.
+func TestDownrankSingleEntry(t *testing.T) {
+	c := New(0, 1)
+	c.Put("only", Entry{Cost: 1})
+	if !c.Downrank("only") {
+		t.Fatal("Downrank(only) failed")
+	}
+	c.Put("next", Entry{Cost: 2})
+	for _, k := range []string{"only", "next"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after single-entry downrank", k)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"blitzsplit"
+	"blitzsplit/internal/core"
+	"blitzsplit/internal/cost"
+	"blitzsplit/internal/faultinject"
+	"blitzsplit/internal/plan"
+)
+
+// ExecuteRequest is the POST /v1/execute body: the optimize request plus
+// execution controls. The server synthesizes an in-memory database from the
+// relation cardinalities and join selectivities (deterministically from
+// seed), optimizes the query, and runs the winning plan on the vectorized
+// columnar engine — so one request answers "how many rows does this query
+// actually produce", not just "what plan would you pick".
+type ExecuteRequest struct {
+	OptimizeRequest
+	// Seed drives the deterministic data synthesis; the same document and
+	// seed always produce the same rows.
+	Seed int64 `json:"seed,omitempty"`
+	// Algorithm selects the physical join operator: "hash" (default),
+	// "sortmerge", or "nestedloops".
+	Algorithm string `json:"algorithm,omitempty"`
+	// RowEngine runs the row-at-a-time executor instead of the vectorized
+	// one — the differential baseline.
+	RowEngine bool `json:"row_engine,omitempty"`
+	// Adaptive enables mid-query re-optimization on cardinality
+	// misestimates; see blitzsplit.ExecuteOptions.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// MaxRows aborts execution once an intermediate result exceeds it
+	// (answered 422, kind "row_limit"); 0 takes the engine default.
+	MaxRows int `json:"max_rows,omitempty"`
+	// CollectOps includes the per-operator breakdown in the response.
+	CollectOps bool `json:"collect_ops,omitempty"`
+}
+
+// ExecuteResponse is the POST /v1/execute success body: the optimization
+// summary plus what actually happened when the plan ran.
+type ExecuteResponse struct {
+	// Rows is the actual result cardinality; Cardinality remains the
+	// optimizer's estimate of the same number.
+	Rows        int64   `json:"rows"`
+	Expression  string  `json:"expression"`
+	Cost        float64 `json:"cost"`
+	Cardinality float64 `json:"cardinality"`
+	Mode        string  `json:"mode"`
+	Degraded    bool    `json:"degraded"`
+	Cached      bool    `json:"cached"`
+	// Exec instruments the execution; Reopts lists adaptive replan events;
+	// Downranked reports that a replan demoted the serving cache entry.
+	Exec       blitzsplit.ExecStats    `json:"exec"`
+	Reopts     []blitzsplit.ReoptEvent `json:"reopts,omitempty"`
+	Downranked bool                    `json:"downranked,omitempty"`
+	ElapsedUS  int64                   `json:"elapsed_us"`
+	// Plan is the optimizer's tree, ExecutedPlan the tree that actually ran
+	// (different only after an adaptive replan); both need include_plan.
+	Plan         *plan.Node `json:"plan,omitempty"`
+	ExecutedPlan *plan.Node `json:"executed_plan,omitempty"`
+}
+
+// handleExecute is the execute spine: decode → validate → admit →
+// synthesize → optimize-and-execute → respond. Execution requests never
+// coalesce — each synthesizes and runs its own data — but they pass the same
+// admission gate as cold optimizations, and the plan cache still dedupes the
+// optimization underneath. The same panic boundary as /v1/optimize applies.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := s.cfg.Now()
+	defer func() { s.met.latency.Observe(s.cfg.Now().Sub(start)) }()
+	defer func() {
+		if v := recover(); v != nil {
+			s.handlerPanics.Add(1)
+			s.met.panics.Inc()
+			s.fail(w, http.StatusInternalServerError, "internal error: %v", v)
+		}
+	}()
+	faultinject.Inject(faultinject.ServerRequest)
+
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.met.shed.Inc()
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	req, code, err := s.decodeExecute(r)
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	// Synthesis admission: the request's data volume is the sum of its base
+	// cardinalities, known before any work. Refusing here keeps one giant
+	// document from tying the server up materializing tables.
+	var synthRows float64
+	for _, rel := range req.Relations {
+		synthRows += rel.Cardinality
+	}
+	if synthRows > s.cfg.MaxSynthRows {
+		s.failKind(w, http.StatusUnprocessableEntity, "synthesis_limit",
+			"query synthesizes %.0f base rows, server limit is %.0f", synthRows, s.cfg.MaxSynthRows)
+		return
+	}
+
+	q := blitzsplit.NewQuery()
+	for _, rel := range req.Relations {
+		if err := q.AddRelation(rel.Name, rel.Cardinality); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	for _, j := range req.Joins {
+		if err := q.Join(j.A, j.B, j.Selectivity); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	options := []blitzsplit.Option{
+		blitzsplit.WithDeadlineLadder(),
+		blitzsplit.WithMemoryBudget(s.cfg.MemBudget),
+		blitzsplit.WithEnumerator(s.cfg.Enumerator),
+	}
+	if req.Model != "" {
+		options = append(options, blitzsplit.WithCostModel(req.Model))
+	}
+	if req.LeftDeep {
+		options = append(options, blitzsplit.WithLeftDeep())
+	}
+	timeout := s.effectiveTimeout(&req.OptimizeRequest, len(s.inflight))
+
+	if !s.admit(r) {
+		s.met.shed.Inc()
+		s.fail(w, http.StatusServiceUnavailable,
+			"over capacity: %d optimizations in flight", s.cfg.MaxInFlight)
+		return
+	}
+	defer func() { <-s.inflight }()
+	s.met.optimizations.Inc()
+
+	db, err := q.Synthesize(req.Seed)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "synthesize: %v", err)
+		return
+	}
+	options = append(options, blitzsplit.WithTimeout(timeout))
+	er, err := s.eng.OptimizeAndExecute(r.Context(), q, db, blitzsplit.ExecuteOptions{
+		Algorithm:  req.Algorithm,
+		RowEngine:  req.RowEngine,
+		Adaptive:   req.Adaptive,
+		MaxRows:    req.MaxRows,
+		CollectOps: req.CollectOps,
+	}, options...)
+	if err != nil {
+		var ie *blitzsplit.InternalError
+		if errors.As(err, &ie) {
+			s.met.panics.Inc()
+		}
+		code, kind := http.StatusInternalServerError, ""
+		switch {
+		case errors.Is(err, blitzsplit.ErrRowLimit):
+			// The data outgrew the execution guard: a property of the
+			// request, typed so clients can raise max_rows deliberately.
+			code, kind = http.StatusUnprocessableEntity, "row_limit"
+			s.met.execRowLimit.Inc()
+		case errors.Is(err, core.ErrNoPlan),
+			errors.Is(err, blitzsplit.ErrEnumeratorUnsupported),
+			errors.Is(err, blitzsplit.ErrQuarantined):
+			code = http.StatusUnprocessableEntity
+		case errors.Is(err, core.ErrBudgetExceeded):
+			code = http.StatusServiceUnavailable
+		}
+		s.failKind(w, code, kind, "%v", err)
+		return
+	}
+	if er.Degraded {
+		s.met.degraded(er.Mode).Inc()
+	}
+	s.met.executions.Inc()
+	s.met.execRows.Add(uint64(er.Rows))
+	s.met.execReopts.Add(uint64(len(er.Reopts)))
+
+	resp := ExecuteResponse{
+		Rows:        er.Rows,
+		Expression:  er.Expression(),
+		Cost:        er.Cost,
+		Cardinality: er.Cardinality,
+		Mode:        er.Mode,
+		Degraded:    er.Degraded,
+		Cached:      er.Cached,
+		Exec:        er.Exec,
+		Reopts:      er.Reopts,
+		Downranked:  er.Downranked,
+		ElapsedUS:   s.cfg.Now().Sub(start).Microseconds(),
+	}
+	if req.IncludePlan {
+		resp.Plan = er.Plan
+		resp.ExecutedPlan = er.ExecutedPlan
+	}
+	s.met.requests(http.StatusOK).Inc()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeExecute mirrors decodeRequest for the execute body, adding the
+// execution-only validations (join algorithm name, max_rows sign).
+func (s *Server) decodeExecute(r *http.Request) (*ExecuteRequest, int, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if int64(len(body)) > s.cfg.MaxBody {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBody)
+	}
+	var req ExecuteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if err := req.File.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if n := len(req.Relations); n > s.cfg.MaxRelations {
+		return nil, http.StatusUnprocessableEntity,
+			fmt.Errorf("%d relations exceeds the server limit of %d", n, s.cfg.MaxRelations)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("timeout_ms must be ≥ 0")
+	}
+	if req.Model != "" {
+		if _, err := cost.ByName(req.Model); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	switch req.Algorithm {
+	case "", "hash", "sortmerge", "sm", "nestedloops", "dnl", "naive":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown join algorithm %q", req.Algorithm)
+	}
+	if req.MaxRows < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("max_rows must be ≥ 0")
+	}
+	return &req, 0, nil
+}

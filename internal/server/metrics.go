@@ -20,6 +20,10 @@ type metrics struct {
 	coalesced     *telemetry.Counter
 	shed          *telemetry.Counter
 	panics        *telemetry.Counter
+	executions    *telemetry.Counter
+	execRows      *telemetry.Counter
+	execReopts    *telemetry.Counter
+	execRowLimit  *telemetry.Counter
 
 	mu     sync.Mutex
 	byCode map[int]*telemetry.Counter
@@ -39,6 +43,14 @@ func newMetrics(reg *telemetry.Registry, s *Server) *metrics {
 			"Requests refused with 503 (admission timeout or draining)."),
 		panics: reg.Counter("blitzd_panics_total", "",
 			"Requests that failed on a recovered panic (engine or handler boundary)."),
+		executions: reg.Counter("blitzd_executions_total", "",
+			"Plans executed to completion on /v1/execute."),
+		execRows: reg.Counter("blitzd_exec_rows_total", "",
+			"Result rows produced by /v1/execute, cumulative."),
+		execReopts: reg.Counter("blitzd_exec_reopts_total", "",
+			"Adaptive mid-query re-optimization events observed during execution."),
+		execRowLimit: reg.Counter("blitzd_exec_row_limit_total", "",
+			"Executions refused because an intermediate result exceeded max_rows."),
 		byCode: make(map[int]*telemetry.Counter),
 		byRung: make(map[string]*telemetry.Counter),
 	}
@@ -85,6 +97,9 @@ func newMetrics(reg *telemetry.Registry, s *Server) *metrics {
 	reg.GaugeFunc("blitzd_quarantined_shapes", "",
 		"Query shapes quarantined after repeated optimizer panics.",
 		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.QuarantinedShapes) }))
+	reg.GaugeFunc("blitzd_plan_downranks_total", "",
+		"Cached plans demoted toward eviction after an adaptive replan proved their estimates stale.",
+		stat(func(st blitzsplit.EngineStats) float64 { return float64(st.PlanDownranks) }))
 	reg.GaugeFunc("blitzd_snapshot_age_seconds", "",
 		"Seconds since the last successful plan-cache snapshot; -1 before the first.",
 		func() float64 {

@@ -21,8 +21,10 @@
 //     here, while in-flight requests run to completion; cmd/blitzd wires it
 //     to SIGTERM ahead of http.Server.Shutdown.
 //
-// Endpoints: POST /v1/optimize, GET /metrics (Prometheus text exposition),
-// GET /debug/vars (JSON), GET /healthz (liveness), GET /readyz (readiness).
+// Endpoints: POST /v1/optimize, POST /v1/execute (optimize, synthesize, and
+// run the plan on the vectorized engine — see execute.go), GET /metrics
+// (Prometheus text exposition), GET /debug/vars (JSON), GET /healthz
+// (liveness), GET /readyz (readiness).
 package server
 
 import (
@@ -56,6 +58,7 @@ const (
 	DefaultRequestTimeout = 2 * time.Second
 	DefaultMaxTimeout     = 30 * time.Second
 	DefaultMaxBody        = 1 << 20 // 1 MiB of request JSON
+	DefaultMaxSynthRows   = 4 << 20 // ~4M base rows synthesized per /v1/execute
 )
 
 // Config parameterizes New. The zero value serves with sane production
@@ -97,6 +100,10 @@ type Config struct {
 	MemBudget uint64
 	// MaxBody bounds the request body; 0 selects 1 MiB.
 	MaxBody int64
+	// MaxSynthRows bounds the total base-table rows a /v1/execute request may
+	// synthesize (the sum of relation cardinalities); larger requests are
+	// refused with 422 before any work. 0 selects DefaultMaxSynthRows.
+	MaxSynthRows float64
 	// SnapshotPath, when non-empty, is the plan-cache snapshot file behind
 	// warm restarts: RestoreSnapshot reads it at startup, SnapshotNow and the
 	// periodic loop write it atomically (temp + fsync + rename).
@@ -158,6 +165,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
+	if cfg.MaxSynthRows <= 0 {
+		cfg.MaxSynthRows = DefaultMaxSynthRows
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
@@ -203,6 +213,7 @@ func (s *Server) InFlight() int { return len(s.inflight) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/execute", s.handleExecute)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -251,9 +262,12 @@ type OptimizeResponse struct {
 	Plan      *plan.Node    `json:"plan,omitempty"`
 }
 
-// errorResponse is every non-200 body.
+// errorResponse is every non-200 body. Kind, when set, is a stable
+// machine-readable classifier ("row_limit", "synthesis_limit") so clients can
+// branch without parsing the human-readable message.
 type errorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -263,11 +277,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.failKind(w, code, "", format, args...)
+}
+
+func (s *Server) failKind(w http.ResponseWriter, code int, kind, format string, args ...any) {
 	s.met.requests(code).Inc()
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
 }
 
 // handleOptimize is the serving spine: decode → validate → coalesce →

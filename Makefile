@@ -17,11 +17,11 @@ BENCH_GATE_THRESHOLD ?= 1.6
 # Minimum statement coverage (percent) for the packages whose correctness
 # everything else leans on.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/exec ./internal/plancache ./internal/server ./internal/snapshot ./internal/telemetry
+COVER_PKGS = ./internal/core ./internal/check ./internal/canon ./internal/ccp ./internal/cluster ./internal/exec ./internal/plancache ./internal/retry ./internal/server ./internal/snapshot ./internal/telemetry
 
-.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-chaos bench-exec bench-gate bench-gate-soft profile serve-smoke chaos-smoke fuzz-smoke cover
+.PHONY: ci fmt vet build test race stress bench-parallel bench-cache bench-serve bench-hotpath bench-enumerators bench-chaos bench-exec bench-cluster bench-gate bench-gate-soft profile serve-smoke chaos-smoke cluster-smoke fuzz-smoke cover
 
-ci: fmt vet build test race stress cover fuzz-smoke serve-smoke chaos-smoke bench-gate-soft
+ci: fmt vet build test race stress cover fuzz-smoke serve-smoke chaos-smoke cluster-smoke bench-gate-soft
 
 # gofmt is the style gate: any file needing reformatting fails the build.
 fmt:
@@ -63,6 +63,9 @@ stress:
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'Stress|Coalesc|Drain|Shed|Overload|Snapshot|Panic|Quarantine|Write|Probe|Execute' \
 		./internal/server/ ./internal/telemetry/ ./internal/snapshot/
+	$(GO) test -race -timeout 600s -count=5 \
+		-run 'Cluster|Ring|Forward|Retry|Backoff|Pipe' \
+		./internal/cluster/ ./internal/retry/ ./internal/server/ ./internal/plancache/
 	$(GO) test -race -timeout 600s -count=5 \
 		-run 'Exec|Adaptive|Vectorized|Splice|Downrank' \
 		./internal/exec/ ./internal/plan/ ./internal/check/ .
@@ -134,6 +137,12 @@ bench-chaos:
 bench-exec:
 	$(GO) run ./cmd/blitzbench -exp exec -exec-json BENCH_exec.json
 
+# Regenerate BENCH_cluster.json (see EXPERIMENTS.md): zipf traffic against a
+# 3-node fingerprint-sharded cluster of real blitzd subprocesses vs a single
+# node with the same per-node cache budget.
+bench-cluster:
+	$(GO) run ./cmd/blitzbench -exp cluster -budget 2s -cluster-json BENCH_cluster.json
+
 # The benchstat-style regression gate: re-measure the hot paths and compare
 # against the checked-in BENCH_hotpath.json. Fails (exit 1) when ns/op
 # regresses beyond BENCH_GATE_THRESHOLD or allocs/op beyond a slack of 2.
@@ -192,3 +201,12 @@ serve-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/blitzbench -exp chaos -quiet
 	@echo "chaos-smoke: OK"
+
+# Cluster smoke: the 3-node in-process cluster test — populate, kill a node,
+# require every request still answered through reroute/fallback, rejoin the
+# node cold and require the warm handoff to serve ≥90% of its owned shapes as
+# cache hits — under the race detector. The test fails loudly on any of those,
+# so running it IS the assertion.
+cluster-smoke:
+	$(GO) test -race -timeout 300s -count=1 -run '^TestClusterSmoke$$' ./internal/server/
+	@echo "cluster-smoke: OK"

@@ -18,6 +18,7 @@
 //	blitzbench -exp enumerators        # 3^n scan vs csg–cmp enumerator: speedup by topology
 //	blitzbench -exp chaos              # crash safety: kill -9/corrupt/panic a real blitzd
 //	blitzbench -exp exec               # vectorized vs row execution + adaptive re-optimization
+//	blitzbench -exp cluster            # 3-node sharded cluster vs single node, zipf traffic
 //	blitzbench -exp all                # everything above
 //
 // Flags:
@@ -36,6 +37,7 @@
 //	-enum-json p    write the -exp enumerators artifact (BENCH_enumerators.json) to p
 //	-chaos-json p   write the -exp chaos artifact (BENCH_chaos.json) to p
 //	-exec-json p    write the -exp exec artifact (BENCH_exec.json) to p
+//	-cluster-json p write the -exp cluster artifact (BENCH_cluster.json) to p
 //	-enum-frontier  include the -exp enumerators large points (n=25 clique, n=40 tree; slow)
 //	-gate p         gate -exp hotpath against the artifact at p; regressions exit 1
 //	-gate-threshold f  allowed ns/op ratio over the gate baseline (default 1.6)
@@ -82,7 +84,7 @@ func main() {
 func runMain(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("blitzbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|chaos|exec|all")
+	exp := fs.String("exp", "", "experiment: fig2|fig4|fig5|fig6|table1|counts|joinvscp|ablate|baselines|parallel|cache|serve|hotpath|enumerators|chaos|exec|cluster|all")
 	n := fs.Int("n", 15, "relation count for the §6 sweeps")
 	maxN := fs.Int("maxn", 15, "largest n for fig2 and the parallel experiment")
 	parallel := fs.Int("parallel", 0, "optimizer worker count (0 = serial fill)")
@@ -98,6 +100,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 	enumFrontier := fs.Bool("enum-frontier", false, "include the -exp enumerators large points (n=25 clique dense, n=40 tree sparse; slow)")
 	chaosJSON := fs.String("chaos-json", "", "write the -exp chaos measurement artifact to this path")
 	execJSON := fs.String("exec-json", "", "write the -exp exec measurement artifact to this path")
+	clusterJSON := fs.String("cluster-json", "", "write the -exp cluster measurement artifact to this path")
 	gateJSON := fs.String("gate", "", "gate -exp hotpath against the artifact at this path; regressions exit 1")
 	gateThreshold := fs.Float64("gate-threshold", 0, "allowed ns/op ratio over the -gate baseline (0 = default 1.6)")
 	csvPath := fs.String("csv", "", "write raw measurements as CSV to this path")
@@ -181,6 +184,7 @@ func runMain(args []string, out, errOut io.Writer) int {
 		EnumFrontier:  *enumFrontier,
 		ChaosJSON:     *chaosJSON,
 		ExecJSON:      *execJSON,
+		ClusterJSON:   *clusterJSON,
 	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(errOut, "blitzbench:", err)

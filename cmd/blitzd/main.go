@@ -24,7 +24,23 @@
 //	-snapshot p       plan-cache snapshot file for warm restarts (empty = off)
 //	-snapshot-interval d  periodic snapshot cadence (30s)
 //	-panic-every n    chaos: panic the optimizer on every nth cold run (0 = off)
+//	-peers l          static cluster membership, "id=url,id=url,..." (empty = single node)
+//	-node-id id       this node's ID within -peers (required with -peers)
+//	-advertise url    overrides this node's URL from -peers (rarely needed)
 //	-version          print version and build info, then exit
+//
+// With -peers and -node-id, blitzd joins a fingerprint-sharded cluster: every
+// node accepts every request, but each canonical query shape has one home
+// shard (consistent hashing over the canonical fingerprint), so cache
+// residency and request coalescing are cluster-wide. Non-owned requests
+// forward one hop to their owner; owner failure falls back to local
+// optimization plus a background push of the plan to the owner. At startup a
+// cluster node pulls a warm handoff — the cache entries it now owns — from
+// its peers, so a rejoining or replacement node serves warm from the first
+// request. Cluster endpoints: POST /v1/optimize/batch, GET /v1/cluster/status,
+// and the peer protocol under /v1/peer/. All peers must be started with the
+// same -peers list (IDs and URLs): handoffs are refused across disagreeing
+// membership.
 //
 // Endpoints: POST /v1/optimize, POST /v1/execute (optimize + synthesize +
 // run the plan on the vectorized engine, returning actual row counts and
@@ -77,6 +93,7 @@ import (
 
 	"blitzsplit"
 	"blitzsplit/internal/buildinfo"
+	"blitzsplit/internal/cluster"
 	"blitzsplit/internal/faultinject"
 	"blitzsplit/internal/server"
 	"blitzsplit/internal/snapshot"
@@ -122,6 +139,9 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	snapshotPath := fs.String("snapshot", "", "plan-cache snapshot file for warm restarts (empty = off)")
 	snapshotInterval := fs.Duration("snapshot-interval", 0, "periodic snapshot cadence (0 = 30s)")
 	panicEvery := fs.Uint64("panic-every", 0, "chaos: panic the optimizer on every nth cold run (0 = off)")
+	peersFlag := fs.String("peers", "", `static cluster membership, "id=url,id=url,..." (empty = single node)`)
+	nodeID := fs.String("node-id", "", "this node's ID within -peers (required with -peers)")
+	advertise := fs.String("advertise", "", "overrides this node's URL from -peers (rarely needed)")
 	version := fs.Bool("version", false, "print version and build info, then exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -136,7 +156,38 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintf(errOut, "blitzd: -enumerator: %v\n", err)
 		return exitUsage
 	}
+	var peers []cluster.Node
+	if *peersFlag != "" || *nodeID != "" {
+		// Cluster mode needs both halves: the membership and who we are in it.
+		if *peersFlag == "" || *nodeID == "" {
+			fmt.Fprintln(errOut, "blitzd: -peers and -node-id must be set together")
+			return exitUsage
+		}
+		peers, err = cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(errOut, "blitzd: -peers: %v\n", err)
+			return exitUsage
+		}
+		found := false
+		for i := range peers {
+			if peers[i].ID == *nodeID {
+				found = true
+				if *advertise != "" {
+					peers[i].URL = *advertise
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(errOut, "blitzd: -node-id %q does not appear in -peers\n", *nodeID)
+			return exitUsage
+		}
+	} else if *advertise != "" {
+		fmt.Fprintln(errOut, "blitzd: -advertise requires -peers and -node-id")
+		return exitUsage
+	}
 	cfg := server.Config{
+		NodeID:           *nodeID,
+		Peers:            peers,
 		MaxInFlight:      *maxInFlight,
 		AdmissionWait:    *admissionWait,
 		RequestTimeout:   *timeout,
@@ -198,6 +249,24 @@ func runMain(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 			fmt.Fprintf(errOut, "blitzd: snapshot restore failed (serving cold): %v\n", err)
 		} else {
 			fmt.Fprintf(out, "blitzd: snapshot restore: %v\n", ls)
+		}
+	}
+
+	if srv.ClusterEnabled() {
+		// Warm handoff: pull the cache entries this node owns under the
+		// current ring from whichever peers are already up. Best-effort — a
+		// lone first node or a cold cluster just starts cold. Runs after the
+		// snapshot restore so a local snapshot's entries win LRU recency.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		loaded, err := srv.PullHandoff(ctx)
+		cancel()
+		switch {
+		case err != nil && loaded == 0:
+			fmt.Fprintf(errOut, "blitzd: warm handoff unavailable (serving cold): %v\n", err)
+		case err != nil:
+			fmt.Fprintf(out, "blitzd: warm handoff: %d entries (some peers unavailable: %v)\n", loaded, err)
+		default:
+			fmt.Fprintf(out, "blitzd: warm handoff: %d entries\n", loaded)
 		}
 	}
 

@@ -49,6 +49,13 @@ func TestUsageErrors(t *testing.T) {
 		{"-mem-budget", "12parsecs"},
 		{"-cache-bytes", "-3"},
 		{"-arena-bytes", "x"},
+		{"-peers", "n1=http://localhost:1"},                         // missing -node-id
+		{"-node-id", "n1"},                                          // missing -peers
+		{"-advertise", "http://localhost:1"},                        // requires cluster mode
+		{"-peers", "n1=http://localhost:1", "-node-id", "n2"},       // id not in membership
+		{"-peers", "garbage", "-node-id", "n1"},                     // unparseable list
+		{"-peers", "n1=http://a:1,n1=http://b:2", "-node-id", "n1"}, // duplicate id
+		{"-peers", "n1=ftp://localhost:1", "-node-id", "n1"},        // non-http scheme
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"blitzsplit/internal/canon"
 	"blitzsplit/internal/plancache"
 )
 
@@ -95,6 +96,86 @@ func (e *Engine) LoadSnapshot(r io.Reader) (SnapshotLoadStats, error) {
 		e.snap.mu.Unlock()
 	}
 	return ls, err
+}
+
+// WriteSnapshotOwned is WriteSnapshot restricted to entries whose canonical
+// fingerprint satisfies keep — the cluster's warm-handoff writer, where a
+// departing (or newly joined) node streams a peer exactly the shapes the ring
+// says that peer owns. Entries whose key predates the fingerprint length
+// prefix are unclassifiable and are left out. Unlike WriteSnapshot, a
+// filtered write is not recorded in Stats().LastSnapshot: it is a partial
+// export for one peer, not the engine's durability snapshot. A nil keep
+// writes everything.
+func (e *Engine) WriteSnapshotOwned(w io.Writer, keep func(fp []byte) bool) (SnapshotWriteStats, error) {
+	if e.cache == nil {
+		return SnapshotWriteStats{}, ErrCacheDisabled
+	}
+	if keep == nil {
+		return e.cache.WriteSnapshotFiltered(w, nil)
+	}
+	return e.cache.WriteSnapshotFiltered(w, func(key string) bool {
+		fp, ok := keyFingerprint([]byte(key))
+		return ok && keep(fp)
+	})
+}
+
+// PlanKey computes the plan-cache key and canonical fingerprint that
+// Optimize(q, options...) would use, without optimizing anything: the same
+// canonicalization, enumerator resolution, and option encoding as the serve
+// path. The cluster layer calls it to decide which node owns a request (the
+// fingerprint hashes onto the ring) and to probe or transfer the exact cache
+// entry a peer would serve from. Both returned slices are freshly allocated
+// and owned by the caller.
+func (e *Engine) PlanKey(q *Query, options ...Option) (key, fp []byte, err error) {
+	if e.cache == nil {
+		return nil, nil, ErrCacheDisabled
+	}
+	cfg, err := newConfig(options)
+	if err != nil {
+		return nil, nil, err
+	}
+	cq, err := q.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := e.scratch.Get().(*serveScratch)
+	defer e.scratch.Put(sc)
+	if err := sc.canon.Canonicalize(cq, canon.Options{SelectivityQuantum: e.quantum}); err != nil {
+		return nil, nil, err
+	}
+	// Mirror optimizeQuery: Auto resolves to a concrete enumerator before the
+	// key is built, so PlanKey and the serve path can never disagree on a key.
+	eligible := sc.canon.Connected() && !cfg.opts.LeftDeep &&
+		!cfg.opts.DisableNestedIfs && !cfg.opts.DescendingSubsets
+	enum, err := cfg.opts.ResolveEnumerator(eligible)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.opts.Enumerator = enum
+	fp = append([]byte(nil), sc.canon.Fingerprint()...)
+	return appendCacheKey(nil, fp, cfg.opts), fp, nil
+}
+
+// HasPlan reports whether the cache holds an entry under key (as computed by
+// PlanKey) without disturbing recency order or the hit/miss counters.
+func (e *Engine) HasPlan(key []byte) bool {
+	if e.cache == nil {
+		return false
+	}
+	_, ok := e.cache.Peek(key)
+	return ok
+}
+
+// ExportPlan writes the cache entry stored under key to w as a one-record
+// snapshot stream — the peer cache-fill payload, restorable on the receiving
+// engine with LoadSnapshot. It returns false (and writes nothing) when the
+// key is not resident; the cluster layer treats that as an ordinary miss.
+func (e *Engine) ExportPlan(w io.Writer, key []byte) (bool, error) {
+	if e.cache == nil {
+		return false, ErrCacheDisabled
+	}
+	ok, _, err := e.cache.WriteEntry(w, key)
+	return ok, err
 }
 
 // recordPanic converts a recovered panic value into an *InternalError,

@@ -376,8 +376,14 @@ func (e *Engine) run(cq core.Query, cfg config) (*outcome, error) {
 // budget options (they decide whether a cold run finishes, never which plan
 // wins). The key is appended into dst so the serve path can reuse one buffer
 // per lookup; only custom models allocate (via fmt).
+//
+// The key opens with uvarint(len(fp)) so the fingerprint can be recovered
+// from a stored key (keyFingerprint) — the cluster layer shards cache
+// residency by fingerprint and must classify snapshot entries by owner
+// without re-canonicalizing anything.
 func appendCacheKey(dst []byte, fp []byte, opts core.Options) []byte {
-	b := append(dst, fp...)
+	b := binary.AppendUvarint(dst, uint64(len(fp)))
+	b = append(b, fp...)
 	b = append(b, 0)
 	if opts.LeftDeep {
 		b = append(b, 'L')
@@ -405,6 +411,19 @@ func appendCacheKey(dst []byte, fp []byte, opts core.Options) []byte {
 		b = fmt.Appendf(b, "%T|%+v", m, m)
 	}
 	return b
+}
+
+// keyFingerprint recovers the canonical fingerprint embedded in a cache key
+// by appendCacheKey. ok is false when the key does not parse — an entry
+// restored from a snapshot written before the length prefix existed. Such
+// entries are merely unclassifiable (they can never match a live lookup
+// either), never misattributed.
+func keyFingerprint(key []byte) (fp []byte, ok bool) {
+	size, n := binary.Uvarint(key)
+	if n <= 0 || size > uint64(len(key)-n) {
+		return nil, false
+	}
+	return key[n : n+int(size)], true
 }
 
 // Optimize runs Algorithm blitzsplit over the query and returns the optimal

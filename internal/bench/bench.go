@@ -75,6 +75,9 @@ type Config struct {
 	// ExecJSON, when nonempty, is where the exec experiment writes its
 	// BENCH_exec.json measurement artifact.
 	ExecJSON string
+	// ClusterJSON, when nonempty, is where the cluster experiment writes its
+	// BENCH_cluster.json measurement artifact.
+	ClusterJSON string
 }
 
 func (c Config) n() int {
@@ -117,7 +120,7 @@ func (c Config) stamp(cases []workload.Case) []workload.Case {
 
 // Names lists the experiment names Run accepts, in recommended order.
 func Names() []string {
-	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators", "chaos", "exec"}
+	return []string{"table1", "fig2", "fig4", "fig5", "fig6", "counts", "joinvscp", "ablate", "baselines", "hybrid", "orders", "parallel", "cache", "serve", "hotpath", "enumerators", "chaos", "exec", "cluster"}
 }
 
 // Run executes the named experiment ("all" runs every one) and, when csvPath
@@ -170,6 +173,8 @@ func Run(name string, cfg Config, csvPath string) error {
 		err = Chaos(cfg)
 	case "exec":
 		err = Exec(cfg)
+	case "cluster":
+		err = Cluster(cfg)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v, all)", name, Names())
 	}

@@ -10,12 +10,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blitzsplit/internal/retry"
 	"blitzsplit/internal/server"
 	"blitzsplit/internal/workload"
 )
@@ -103,23 +103,12 @@ type serveLevelResult struct {
 }
 
 // maxServeRetries bounds how many times one logical request may be retried
-// after 503 sheds before it counts as a failure.
-const maxServeRetries = 5
+// after 503 sheds before it counts as a failure (the internal/retry default).
+const maxServeRetries = retry.DefaultMaxAttempts
 
-// retryDelay converts a 503's Retry-After header into a jittered, linearly
-// backed-off wait: attempt × header seconds (default 1 s), scaled by a random
-// factor in [0.5, 1.5) so retried bursts do not re-collide, capped at 2 s.
-func retryDelay(header string, attempt int, rng *rand.Rand) time.Duration {
-	base := time.Second
-	if s, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && s >= 0 {
-		base = time.Duration(s) * time.Second
-	}
-	d := time.Duration(float64(base) * float64(attempt) * (0.5 + rng.Float64()))
-	if d > 2*time.Second {
-		d = 2 * time.Second
-	}
-	return d
-}
+// servePolicy is the shared jittered bounded backoff (internal/retry), the
+// same policy the cluster's peer forward/fill client applies.
+var servePolicy = retry.Policy{}
 
 // serveLevel runs one concurrency level against a fresh server (fresh engine,
 // fresh cache — levels stay comparable) for duration d.
@@ -184,10 +173,10 @@ func serveLevel(level int, d time.Duration, targetQPS float64, bodies []string) 
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxServeRetries {
+				if resp.StatusCode == http.StatusServiceUnavailable && servePolicy.Retryable(attempt) {
 					attempt++
 					retries.Add(1)
-					time.Sleep(retryDelay(resp.Header.Get("Retry-After"), attempt, rng))
+					time.Sleep(servePolicy.Delay(resp.Header.Get("Retry-After"), attempt, rng))
 					if time.Now().After(deadline) {
 						return
 					}

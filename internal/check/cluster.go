@@ -1,0 +1,59 @@
+package check
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClusterAnswer is one node's answer for a query as observed at the serving
+// boundary: the fields a client could act on. The harness that collects
+// answers (internal/server's cluster tests, or any probe hitting real nodes)
+// owns the HTTP plumbing; this package owns only the agreement judgment, so
+// the verifier stays network-free like the rest of the lattice.
+type ClusterAnswer struct {
+	// Node identifies where the answer came from, for error messages.
+	Node        string
+	Expression  string
+	Cost        float64
+	Cardinality float64
+	// Fingerprint is the canonical-shape fingerprint the node reported
+	// (hex). Agreement here is what makes the ring well-defined: nodes that
+	// fingerprint the same query differently would route it to different
+	// owners.
+	Fingerprint string
+}
+
+// ClusterAgree requires every node's answer for one query to be
+// bit-identical: same expression, same cost and cardinality down to the
+// float bits (Float64bits, so NaN payloads and signed zeros count), and the
+// same canonical fingerprint. This is the sharding contract — a forwarded
+// request must be indistinguishable from a local optimization, or clients
+// would observe plans changing with cluster topology.
+func ClusterAgree(answers []ClusterAnswer) error {
+	if len(answers) == 0 {
+		return fmt.Errorf("check: cluster agreement over zero answers")
+	}
+	ref := answers[0]
+	if ref.Fingerprint == "" {
+		return fmt.Errorf("check: node %s reported no fingerprint", ref.Node)
+	}
+	for _, a := range answers[1:] {
+		if a.Fingerprint != ref.Fingerprint {
+			return fmt.Errorf("check: fingerprints differ: %s=%s vs %s=%s",
+				ref.Node, ref.Fingerprint, a.Node, a.Fingerprint)
+		}
+		if a.Expression != ref.Expression {
+			return fmt.Errorf("check: expressions differ: %s=%q vs %s=%q",
+				ref.Node, ref.Expression, a.Node, a.Expression)
+		}
+		if math.Float64bits(a.Cost) != math.Float64bits(ref.Cost) {
+			return fmt.Errorf("check: costs differ: %s=%v vs %s=%v",
+				ref.Node, ref.Cost, a.Node, a.Cost)
+		}
+		if math.Float64bits(a.Cardinality) != math.Float64bits(ref.Cardinality) {
+			return fmt.Errorf("check: cardinalities differ: %s=%v vs %s=%v",
+				ref.Node, ref.Cardinality, a.Node, a.Cardinality)
+		}
+	}
+	return nil
+}

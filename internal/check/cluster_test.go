@@ -1,0 +1,58 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClusterAgree(t *testing.T) {
+	base := ClusterAnswer{Node: "n1", Expression: "(A ⋈ B)", Cost: 1234.5, Cardinality: 50, Fingerprint: "ab12"}
+	same := base
+	same.Node = "n2"
+
+	if err := ClusterAgree([]ClusterAnswer{base, same}); err != nil {
+		t.Fatalf("identical answers rejected: %v", err)
+	}
+	if err := ClusterAgree([]ClusterAnswer{base}); err != nil {
+		t.Fatalf("single answer rejected: %v", err)
+	}
+	if err := ClusterAgree(nil); err == nil {
+		t.Fatal("zero answers accepted")
+	}
+
+	cases := []struct {
+		name   string
+		mut    func(*ClusterAnswer)
+		detail string
+	}{
+		{"fingerprint", func(a *ClusterAnswer) { a.Fingerprint = "ff00" }, "fingerprints"},
+		{"expression", func(a *ClusterAnswer) { a.Expression = "(B ⋈ A)" }, "expressions"},
+		{"cost", func(a *ClusterAnswer) { a.Cost = 1234.50001 }, "costs"},
+		{"cardinality", func(a *ClusterAnswer) { a.Cardinality = 51 }, "cardinalities"},
+		// Bit-level disagreements an epsilon comparison would wave through.
+		{"negative zero cost", func(a *ClusterAnswer) { a.Cost = math.Copysign(0, -1) }, "costs"},
+		{"nan cardinality", func(a *ClusterAnswer) { a.Cardinality = math.NaN() }, "cardinalities"},
+	}
+	for _, tc := range cases {
+		a, b := base, same
+		if tc.name == "negative zero cost" {
+			a.Cost, b.Cost = 0, 0
+		}
+		tc.mut(&b)
+		err := ClusterAgree([]ClusterAnswer{a, b})
+		if err == nil {
+			t.Errorf("%s: disagreement accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.detail) || !strings.Contains(err.Error(), "n2") {
+			t.Errorf("%s: error %q does not name the field and node", tc.name, err)
+		}
+	}
+
+	missing := base
+	missing.Fingerprint = ""
+	if err := ClusterAgree([]ClusterAnswer{missing}); err == nil {
+		t.Error("answer without fingerprint accepted")
+	}
+}

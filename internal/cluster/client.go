@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"blitzsplit/internal/retry"
+)
+
+// HTTP protocol surface shared by the peer client here and the handlers in
+// internal/server. Peer routes are cluster-internal: they speak raw snapshot
+// streams (internal/plancache codec), not JSON.
+const (
+	// HeaderForwarded marks a request already forwarded once by a peer; the
+	// value is the forwarding node's ID. A node receiving it always serves
+	// locally — one hop maximum, so a stale or disagreeing ring can never
+	// bounce a request in a loop.
+	HeaderForwarded = "X-Blitz-Forwarded"
+
+	// PeerPlanPath serves GET <PeerPlanPath><hex cache key> — a one-record
+	// snapshot stream of the entry, or 404 when not resident.
+	PeerPlanPath = "/v1/peer/plan/"
+	// PeerFillPath accepts POST of a one-record snapshot stream, loading it
+	// into the receiver's cache (the owner-failure push fill).
+	PeerFillPath = "/v1/peer/fill"
+	// PeerHandoffPath serves GET with query params ring (membership digest)
+	// and node (requester's ID): a snapshot stream of every entry the ring
+	// assigns to that node. 409 on digest mismatch.
+	PeerHandoffPath = "/v1/peer/handoff"
+)
+
+// Client is the HTTP client a node uses to talk to its peers: request
+// forwarding, plan fills, and warm handoffs. All peer calls share one retry
+// policy — jittered, bounded, Retry-After-aware (internal/retry) — so a
+// draining or briefly overloaded peer is ridden out instead of failed
+// through. Safe for concurrent use.
+type Client struct {
+	// Self is this node's ID, announced in HeaderForwarded on forwards.
+	Self string
+	// HTTP is the underlying client; NewClient sets a bounded timeout.
+	HTTP *http.Client
+	// Retry governs 503 handling on peer calls.
+	Retry retry.Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a peer client for the node with the given ID. timeout
+// bounds each individual HTTP attempt (0 selects 5s — peer calls are either
+// cache reads or forwarded optimizations that the receiving node itself
+// deadline-governs).
+func NewClient(self string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		Self: self,
+		HTTP: &http.Client{Timeout: timeout},
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// delay draws one jittered backoff; the rng is shared so it takes the lock.
+func (c *Client) delay(header string, attempt int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Retry.Delay(header, attempt, c.rng)
+}
+
+// do sends one request built by mk, retrying 503s under the client's policy.
+// Every attempt gets a fresh request from mk (bodies are one-shot readers).
+// The final response is returned regardless of status — callers relay or
+// interpret it. Non-503 responses return immediately.
+func (c *Client) do(ctx context.Context, mk func() (*http.Request, error)) (*http.Response, error) {
+	attempt := 0
+	for {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.HTTP.Do(req.WithContext(ctx))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || !c.Retry.Retryable(attempt) {
+			return resp, nil
+		}
+		after := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		attempt++
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.delay(after, attempt)):
+		}
+	}
+}
+
+// Forward relays an already-decoded client request to its owner: POST
+// node.URL+path with the given body and content type, marked with
+// HeaderForwarded so the owner serves locally. The response is returned
+// whole (including error statuses) for the caller to relay; the caller owns
+// closing the body.
+func (c *Client) Forward(ctx context.Context, node Node, path, contentType string, body []byte) (*http.Response, error) {
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, node.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set(HeaderForwarded, c.Self)
+		return req, nil
+	})
+}
+
+// FetchPlan asks node for the cache entry under the given hex-encoded cache
+// key and returns the one-record snapshot stream. found is false on 404 — an
+// ordinary miss, not an error.
+func (c *Client) FetchPlan(ctx context.Context, node Node, keyHex string) (stream []byte, found bool, err error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, node.URL+PeerPlanPath+keyHex, nil)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, fmt.Errorf("cluster: peer %s plan fetch: %s", node.ID, resp.Status)
+	}
+}
+
+// PushPlan sends a one-record snapshot stream to node's fill endpoint — the
+// best-effort replication a non-owner performs after optimizing locally
+// under owner failure, so the plan reaches its home shard once the owner
+// returns.
+func (c *Client) PushPlan(ctx context.Context, node Node, stream []byte) error {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, node.URL+PeerFillPath, bytes.NewReader(stream))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s fill: %s", node.ID, resp.Status)
+	}
+	return nil
+}
+
+// Handoff asks node to stream every cache entry the ring (identified by its
+// digest) assigns to this client's node. The returned reader is the raw
+// snapshot stream, restorable with the engine's LoadSnapshot; the caller
+// closes it. A digest mismatch (peer on a different membership) is an error.
+func (c *Client) Handoff(ctx context.Context, node Node, ringDigest string) (io.ReadCloser, error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet,
+			node.URL+PeerHandoffPath+"?ring="+ringDigest+"&node="+c.Self, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("cluster: peer %s handoff: %s", node.ID, resp.Status)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blitzsplit/internal/retry"
+)
+
+// fastRetry is a policy with real retries but no measurable sleep, so tests
+// exercising the retry loop stay instant.
+var fastRetry = retry.Policy{MaxAttempts: 3, Base: time.Microsecond, Cap: time.Microsecond}
+
+func testClient(p retry.Policy) *Client {
+	c := NewClient("self", time.Second)
+	c.Retry = p
+	return c
+}
+
+// TestForwardRetriesThrough503 drives a peer that sheds the first two
+// attempts with 503 + Retry-After and then serves: the forward must ride out
+// the shed and deliver the marked request exactly as sent.
+func TestForwardRetriesThrough503(t *testing.T) {
+	var hits atomic.Int32
+	var gotForwarded atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		gotForwarded.Store(r.Header.Get(HeaderForwarded))
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	c := testClient(fastRetry)
+	resp, err := c.Forward(context.Background(), Node{ID: "peer", URL: srv.URL},
+		"/v1/optimize", "application/json", []byte(`{"q":1}`))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries", resp.StatusCode)
+	}
+	if echo, _ := io.ReadAll(resp.Body); string(echo) != `{"q":1}` {
+		t.Fatalf("body not re-sent intact on retry: %q", echo)
+	}
+	if got := gotForwarded.Load(); got != "self" {
+		t.Fatalf("%s header = %v, want self", HeaderForwarded, got)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+// TestForwardExhaustsRetries verifies a persistently shedding peer returns
+// the final 503 (for the caller to relay) rather than an error, after
+// exactly MaxAttempts retries.
+func TestForwardExhaustsRetries(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := testClient(fastRetry)
+	resp, err := c.Forward(context.Background(), Node{ID: "peer", URL: srv.URL},
+		"/v1/optimize", "application/json", nil)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the final 503 relayed", resp.StatusCode)
+	}
+	if n := hits.Load(); n != int32(fastRetry.MaxAttempts)+1 {
+		t.Fatalf("server saw %d attempts, want %d", n, fastRetry.MaxAttempts+1)
+	}
+}
+
+// TestFetchPlanHitAndMiss covers both sides of the peer plan probe: a 200
+// returns the stream, a 404 is a miss and not an error.
+func TestFetchPlanHitAndMiss(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PeerPlanPath+"abcd" {
+			w.Write([]byte("stream-bytes"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	c := testClient(fastRetry)
+	node := Node{ID: "peer", URL: srv.URL}
+	stream, found, err := c.FetchPlan(context.Background(), node, "abcd")
+	if err != nil || !found || !bytes.Equal(stream, []byte("stream-bytes")) {
+		t.Fatalf("hit: stream=%q found=%v err=%v", stream, found, err)
+	}
+	stream, found, err = c.FetchPlan(context.Background(), node, "ffff")
+	if err != nil || found || stream != nil {
+		t.Fatalf("miss: stream=%q found=%v err=%v — want clean miss", stream, found, err)
+	}
+}
+
+// TestPushPlanAndHandoff exercises the fill POST and the handoff GET,
+// including the digest-mismatch rejection.
+func TestPushPlanAndHandoff(t *testing.T) {
+	var fillBody atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PeerFillPath:
+			b, _ := io.ReadAll(r.Body)
+			fillBody.Store(string(b))
+			w.WriteHeader(http.StatusNoContent)
+		case PeerHandoffPath:
+			if r.URL.Query().Get("ring") != "goodring" {
+				http.Error(w, "ring mismatch", http.StatusConflict)
+				return
+			}
+			w.Write([]byte("handoff-for-" + r.URL.Query().Get("node")))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := testClient(fastRetry)
+	node := Node{ID: "peer", URL: srv.URL}
+	if err := c.PushPlan(context.Background(), node, []byte("fill-stream")); err != nil {
+		t.Fatalf("PushPlan: %v", err)
+	}
+	if got := fillBody.Load(); got != "fill-stream" {
+		t.Fatalf("fill body = %v", got)
+	}
+	rc, err := c.Handoff(context.Background(), node, "goodring")
+	if err != nil {
+		t.Fatalf("Handoff: %v", err)
+	}
+	b, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(b) != "handoff-for-self" {
+		t.Fatalf("handoff stream = %q", b)
+	}
+	if _, err := c.Handoff(context.Background(), node, "stale"); err == nil {
+		t.Fatal("handoff with mismatched ring digest succeeded")
+	}
+}
+
+// TestDoContextCancel verifies a canceled context ends the retry loop with
+// the context's error instead of sleeping on.
+func TestDoContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := testClient(retry.Policy{MaxAttempts: 5, Base: time.Hour, Cap: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Forward(ctx, Node{ID: "peer", URL: srv.URL}, "/x", "text/plain", nil); err == nil {
+		t.Fatal("Forward with canceled context succeeded")
+	}
+}

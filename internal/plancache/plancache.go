@@ -155,6 +155,21 @@ func (c *Cache) GetBytes(key []byte) (Entry, bool) {
 	return n.entry, true
 }
 
+// Peek returns the entry stored under key without touching recency order or
+// the hit/miss counters — a read with no serving side effects. The cluster
+// layer uses it to answer peer plan-fill probes and to decide routing without
+// skewing the cache statistics that serving traffic is measured by.
+func (c *Cache) Peek(key []byte) (Entry, bool) {
+	s := shardFor(c, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.m[string(key)]
+	if !ok {
+		return Entry{}, false
+	}
+	return n.entry, true
+}
+
 // Put stores the entry under key, evicting least-recently-used entries as
 // needed to stay inside the shard's byte budget. An entry that alone exceeds
 // the budget is rejected (counted in Stats.Rejects) rather than flushing the

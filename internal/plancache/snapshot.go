@@ -98,6 +98,15 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // a temp file and renames only on success, so a failed snapshot never damages
 // the previous one.
 func (c *Cache) WriteSnapshot(w io.Writer) (WriteStats, error) {
+	return c.WriteSnapshotFiltered(w, nil)
+}
+
+// WriteSnapshotFiltered is WriteSnapshot restricted to the entries whose key
+// satisfies keep (nil keeps everything). The cluster's warm-handoff endpoint
+// streams a peer exactly the shapes that peer owns under the current ring by
+// passing an ownership predicate; the stream is the ordinary snapshot format,
+// so LoadSnapshot on the receiving side restores it unchanged.
+func (c *Cache) WriteSnapshotFiltered(w io.Writer, keep func(key string) bool) (WriteStats, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	var st WriteStats
@@ -117,27 +126,23 @@ func (c *Cache) WriteSnapshot(w io.Writer) (WriteStats, error) {
 		copies := make([]struct {
 			key string
 			e   Entry
-		}, len(entries))
-		for j, n := range entries {
-			copies[j].key = n.key
-			copies[j].e = n.entry
+		}, 0, len(entries))
+		for _, n := range entries {
+			if keep != nil && !keep(n.key) {
+				continue
+			}
+			copies = append(copies, struct {
+				key string
+				e   Entry
+			}{n.key, n.entry})
 		}
 		s.mu.Unlock()
 		for _, ent := range copies {
 			if err := faultinject.InjectErr(faultinject.SnapshotWriteRecord); err != nil {
 				return st, err
 			}
-			scratch = encodeEntry(scratch[:0], ent.key, ent.e)
-			var frame [binary.MaxVarintLen64]byte
-			if _, err := bw.Write(frame[:binary.PutUvarint(frame[:], uint64(len(scratch)))]); err != nil {
-				return st, err
-			}
-			if _, err := bw.Write(scratch); err != nil {
-				return st, err
-			}
-			var sum [4]byte
-			binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(scratch, crcTable))
-			if _, err := bw.Write(sum[:]); err != nil {
+			var err error
+			if scratch, err = writeRecord(bw, scratch, ent.key, ent.e); err != nil {
 				return st, err
 			}
 			st.Entries++
@@ -148,6 +153,53 @@ func (c *Cache) WriteSnapshot(w io.Writer) (WriteStats, error) {
 	}
 	st.Bytes = cw.n
 	return st, nil
+}
+
+// WriteEntry writes a one-record snapshot stream (header + the entry stored
+// under key) to w, reporting whether the key was present. It is the peer
+// cache-fill payload: the receiving side restores it with the ordinary
+// LoadSnapshot path, every corruption tolerance included, so a damaged fill
+// degrades to a no-op exactly like a damaged snapshot. The read takes no
+// serving side effects (Peek).
+func (c *Cache) WriteEntry(w io.Writer, key []byte) (bool, WriteStats, error) {
+	e, ok := c.Peek(key)
+	var st WriteStats
+	if !ok {
+		return false, st, nil
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return true, st, err
+	}
+	if _, err := writeRecord(bw, nil, string(key), e); err != nil {
+		return true, st, err
+	}
+	st.Entries = 1
+	if err := bw.Flush(); err != nil {
+		return true, st, err
+	}
+	st.Bytes = cw.n
+	return true, st, nil
+}
+
+// writeRecord frames and checksums one encoded entry, returning the (possibly
+// regrown) scratch buffer for reuse.
+func writeRecord(bw *bufio.Writer, scratch []byte, key string, e Entry) ([]byte, error) {
+	scratch = encodeEntry(scratch[:0], key, e)
+	var frame [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(frame[:binary.PutUvarint(frame[:], uint64(len(scratch)))]); err != nil {
+		return scratch, err
+	}
+	if _, err := bw.Write(scratch); err != nil {
+		return scratch, err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(scratch, crcTable))
+	if _, err := bw.Write(sum[:]); err != nil {
+		return scratch, err
+	}
+	return scratch, nil
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

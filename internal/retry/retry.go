@@ -1,0 +1,86 @@
+// Package retry is the shared 503-backoff policy: how a polite client of
+// blitzd (the serve-bench load generator, the cluster's peer forward/fill
+// client) retries a shed request. The server's Retry-After header names the
+// base wait; the policy backs off linearly with the attempt number, scales by
+// a random jitter factor in [0.5, 1.5) so a shed burst does not re-collide on
+// the retry, caps the wait, and bounds the attempt count.
+package retry
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Defaults applied by the zero Policy.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBase        = time.Second
+	DefaultCap         = 2 * time.Second
+)
+
+// Policy parameterizes the backoff. The zero value retries up to 5 times
+// with a 1 s base (overridden by Retry-After) capped at 2 s — the contract
+// the serve bench has always applied.
+type Policy struct {
+	// MaxAttempts bounds how many retries one logical request may make after
+	// its first try; 0 selects 5, negative disables retries entirely.
+	MaxAttempts int
+	// Base is the wait unit when the server sends no (or an unparsable)
+	// Retry-After header; 0 selects 1 s.
+	Base time.Duration
+	// Cap bounds any single computed delay; 0 selects 2 s.
+	Cap time.Duration
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts == 0 {
+		return DefaultMaxAttempts
+	}
+	if p.MaxAttempts < 0 {
+		return 0
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return DefaultBase
+	}
+	return p.Base
+}
+
+func (p Policy) cap() time.Duration {
+	if p.Cap <= 0 {
+		return DefaultCap
+	}
+	return p.Cap
+}
+
+// Retryable reports whether one more retry is allowed after `attempt`
+// completed tries beyond the first (attempt counts retries already made, so
+// Retryable(0) asks "may I retry at all?").
+func (p Policy) Retryable(attempt int) bool { return attempt < p.maxAttempts() }
+
+// Delay computes the jittered wait before retry number `attempt` (1-based:
+// the first retry passes 1). header is the server's Retry-After value,
+// interpreted as whole seconds per the blitzd contract; empty or unparsable
+// falls back to the policy base. The wait grows linearly with the attempt,
+// is scaled by a jitter factor drawn from rng in [0.5, 1.5), and never
+// exceeds the cap. A non-negative parse of "0" yields zero delay.
+func (p Policy) Delay(header string, attempt int, rng *rand.Rand) time.Duration {
+	base := p.base()
+	if s, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && s >= 0 {
+		base = time.Duration(s) * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	jitter := 0.5 + rng.Float64() // [0.5, 1.5)
+	d := time.Duration(float64(base) * float64(attempt) * jitter)
+	if c := p.cap(); d > c {
+		d = c
+	}
+	return d
+}

@@ -1,0 +1,98 @@
+package retry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayJitterBounds draws many delays and checks every one lands inside
+// the analytic envelope [0.5, 1.5) × attempt × base, capped.
+func TestDelayJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Hour}
+	for attempt := 1; attempt <= 4; attempt++ {
+		lo := time.Duration(float64(p.Base) * float64(attempt) * 0.5)
+		hi := time.Duration(float64(p.Base) * float64(attempt) * 1.5)
+		for i := 0; i < 1000; i++ {
+			d := p.Delay("", attempt, rng)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDelayHonorsRetryAfter verifies the header overrides the base, including
+// the zero case, and that garbage falls back to the policy base.
+func TestDelayHonorsRetryAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Policy{Base: time.Minute, Cap: time.Hour}
+	for i := 0; i < 100; i++ {
+		if d := p.Delay("0", 1, rng); d != 0 {
+			t.Fatalf("Retry-After 0: delay %v, want 0", d)
+		}
+		if d := p.Delay(" 2 ", 1, rng); d < time.Second || d >= 3*time.Second {
+			t.Fatalf("Retry-After 2: delay %v outside [1s, 3s)", d)
+		}
+		if d := p.Delay("soon", 1, rng); d < 30*time.Second {
+			t.Fatalf("unparsable header: delay %v, want >= base/2 = 30s", d)
+		}
+		if d := p.Delay("-1", 1, rng); d < 30*time.Second {
+			t.Fatalf("negative header: delay %v, want fallback to base", d)
+		}
+	}
+}
+
+// TestDelayCap verifies no draw ever exceeds the cap, and that the default
+// cap matches the historical serve-bench value.
+func TestDelayCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Policy{} // defaults: base 1s, cap 2s
+	for attempt := 1; attempt <= 10; attempt++ {
+		for i := 0; i < 200; i++ {
+			if d := p.Delay("30", attempt, rng); d > DefaultCap {
+				t.Fatalf("attempt %d: delay %v exceeds cap %v", attempt, d, DefaultCap)
+			}
+		}
+	}
+}
+
+// TestDelayClampsAttempt verifies attempt values below 1 behave as 1 rather
+// than producing zero or negative waits.
+func TestDelayClampsAttempt(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Hour}
+	for i := 0; i < 100; i++ {
+		if d := p.Delay("", 0, rng); d < 50*time.Millisecond {
+			t.Fatalf("attempt 0: delay %v below the attempt-1 floor", d)
+		}
+		if d := p.Delay("", -3, rng); d < 50*time.Millisecond {
+			t.Fatalf("attempt -3: delay %v below the attempt-1 floor", d)
+		}
+	}
+}
+
+// TestRetryable pins the attempt budget: the zero policy allows exactly
+// DefaultMaxAttempts retries, an explicit budget is honored, and a negative
+// budget disables retries.
+func TestRetryable(t *testing.T) {
+	var p Policy
+	for a := 0; a < DefaultMaxAttempts; a++ {
+		if !p.Retryable(a) {
+			t.Fatalf("zero policy: Retryable(%d) = false, want true", a)
+		}
+	}
+	if p.Retryable(DefaultMaxAttempts) {
+		t.Fatalf("zero policy: Retryable(%d) = true, want false", DefaultMaxAttempts)
+	}
+	p = Policy{MaxAttempts: 2}
+	if !p.Retryable(1) || p.Retryable(2) {
+		t.Fatalf("MaxAttempts 2: got Retryable(1)=%v Retryable(2)=%v, want true/false",
+			p.Retryable(1), p.Retryable(2))
+	}
+	p = Policy{MaxAttempts: -1}
+	if p.Retryable(0) {
+		t.Fatal("negative MaxAttempts: Retryable(0) = true, want false")
+	}
+}

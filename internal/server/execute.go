@@ -135,7 +135,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout := s.effectiveTimeout(&req.OptimizeRequest, len(s.inflight))
 
-	if !s.admit(r) {
+	if !s.admit(r.Context()) {
 		s.met.shed.Inc()
 		s.fail(w, http.StatusServiceUnavailable,
 			"over capacity: %d optimizations in flight", s.cfg.MaxInFlight)

@@ -28,6 +28,8 @@
 package server
 
 import (
+	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +45,7 @@ import (
 	"blitzsplit"
 	"blitzsplit/internal/bitset"
 	"blitzsplit/internal/canon"
+	"blitzsplit/internal/cluster"
 	"blitzsplit/internal/core"
 	"blitzsplit/internal/cost"
 	"blitzsplit/internal/faultinject"
@@ -50,6 +53,12 @@ import (
 	"blitzsplit/internal/spec"
 	"blitzsplit/internal/telemetry"
 )
+
+// HeaderFingerprint carries the query's canonical fingerprint (hex) on every
+// /v1/optimize response: the exact identity the plan cache, coalescing, and
+// the cluster ring all key on. Two requests with the same value are the same
+// query shape under relabeling and are guaranteed the same plan.
+const HeaderFingerprint = "X-Blitz-Fingerprint"
 
 // Defaults applied by New for zero-valued Config fields.
 const (
@@ -116,6 +125,18 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Now overrides the clock for tests; nil selects time.Now.
 	Now func() time.Time
+
+	// NodeID and Peers turn on fingerprint-sharded cluster serving: Peers is
+	// the full static membership (including this node), NodeID names which
+	// member this server is. Every query shape has one home shard on the
+	// consistent-hash ring over canonical fingerprints; non-owners forward to
+	// the owner (one hop max), so coalescing and cache residency are
+	// cluster-wide. Leave NodeID empty for single-node serving.
+	NodeID string
+	Peers  []cluster.Node
+	// VirtualNodes is the ring's per-node point count; 0 selects
+	// cluster.DefaultVirtualNodes.
+	VirtualNodes int
 }
 
 // Server serves join-order optimization over HTTP. Construct with New; all
@@ -128,6 +149,9 @@ type Server struct {
 	flights  flightGroup
 	draining atomic.Bool
 	met      *metrics
+	// cluster is non-nil when Config.NodeID/Peers enabled sharded serving;
+	// see cluster.go.
+	cluster *clusterState
 	// canonPool recycles flightKey's canonicalizer scratch across requests.
 	canonPool sync.Pool
 	// handlerPanics counts panics recovered at the HTTP handler boundary
@@ -182,6 +206,9 @@ func New(cfg Config) *Server {
 	}
 	s.flights.init()
 	s.met = newMetrics(cfg.Registry, s)
+	if cfg.NodeID != "" && len(cfg.Peers) > 0 {
+		s.cluster = newClusterState(s, cfg)
+	}
 	return s
 }
 
@@ -213,7 +240,14 @@ func (s *Server) InFlight() int { return len(s.inflight) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/optimize/batch", s.handleBatch)
 	mux.HandleFunc("/v1/execute", s.handleExecute)
+	if s.cluster != nil {
+		mux.HandleFunc(cluster.PeerPlanPath, s.handlePeerPlan)
+		mux.HandleFunc(cluster.PeerFillPath, s.handlePeerFill)
+		mux.HandleFunc(cluster.PeerHandoffPath, s.handlePeerHandoff)
+		mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
+	}
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -259,7 +293,11 @@ type OptimizeResponse struct {
 	Coalesced bool          `json:"coalesced"`
 	Counters  core.Counters `json:"counters"`
 	ElapsedUS int64         `json:"elapsed_us"`
-	Plan      *plan.Node    `json:"plan,omitempty"`
+	// Fingerprint is the query's canonical fingerprint in hex (also the
+	// HeaderFingerprint response header): identical for every relabeling of
+	// the same query shape, and the identity the cluster ring shards on.
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Plan        *plan.Node `json:"plan,omitempty"`
 }
 
 // errorResponse is every non-200 body. Kind, when set, is a stable
@@ -319,28 +357,71 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, "%v", err)
 		return
 	}
-
-	// Resolve the spec once into the optimizer representation: the flight
-	// key needs the canonical fingerprint, and the engine call needs the
-	// facade query. Validation already ran in decodeRequest.
-	cq, _, err := req.File.Query()
+	q, cq, err := s.buildQuery(req)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	key, fp := s.flightKey(cq, req)
+	fpHex := hex.EncodeToString(fp)
+
+	// Cluster routing: a shape owned by a peer is forwarded to its home
+	// shard (one hop), unless a warm local copy can serve it here. routed
+	// true means the peer's response has been relayed; pushTo non-nil means
+	// the owner was unreachable — serve locally, then push the plan home.
+	var pushTo *cluster.Node
+	var ekey []byte
+	if s.cluster != nil {
+		var routed bool
+		routed, pushTo, ekey = s.routeOptimize(w, r, req, q, fp)
+		if routed {
+			return
+		}
+	}
+
+	resp, serr := s.optimizeLocal(r.Context(), req, q, key, start)
+	if serr != nil {
+		s.failKind(w, serr.code, serr.kind, "%s", serr.msg)
+		return
+	}
+	if pushTo != nil && !resp.Degraded {
+		s.asyncPushPlan(*pushTo, ekey)
+	}
+	resp.Fingerprint = fpHex
+	if fpHex != "" {
+		w.Header().Set(HeaderFingerprint, fpHex)
+	}
+	s.met.requests(http.StatusOK).Inc()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// buildQuery resolves a decoded request into the optimizer representation
+// twice over: the core query (for canonicalization/flight keys) and the
+// facade query (for the engine call). Validation already ran in
+// decodeRequest; all errors here are 400s.
+func (s *Server) buildQuery(req *OptimizeRequest) (*blitzsplit.Query, core.Query, error) {
+	cq, _, err := req.File.Query()
+	if err != nil {
+		return nil, core.Query{}, err
+	}
 	q := blitzsplit.NewQuery()
 	for _, rel := range req.Relations {
 		if err := q.AddRelation(rel.Name, rel.Cardinality); err != nil {
-			s.fail(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, core.Query{}, err
 		}
 	}
 	for _, j := range req.Joins {
 		if err := q.Join(j.A, j.B, j.Selectivity); err != nil {
-			s.fail(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, core.Query{}, err
 		}
 	}
+	return q, cq, nil
+}
+
+// serveOptions is the option set every served optimization runs under; the
+// engine cache key derives from it, so routeOptimize passes the identical
+// set to PlanKey.
+func (s *Server) serveOptions(req *OptimizeRequest) []blitzsplit.Option {
 	options := []blitzsplit.Option{
 		blitzsplit.WithDeadlineLadder(),
 		blitzsplit.WithMemoryBudget(s.cfg.MemBudget),
@@ -352,7 +433,24 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.LeftDeep {
 		options = append(options, blitzsplit.WithLeftDeep())
 	}
+	return options
+}
 
+// serveErr is a classified serving failure: the HTTP code, the stable
+// machine-readable kind (may be empty), and the message. optimizeLocal
+// returns it instead of writing, so the single-request handler and the batch
+// handler share one spine.
+type serveErr struct {
+	code int
+	kind string
+	msg  string
+}
+
+// optimizeLocal runs the local serving spine for one decoded request:
+// coalesce → admit → optimize (deadline-laddered) → classify. It increments
+// the optimization/coalescing/shedding/degradation metrics but never writes
+// a response and never counts blitzd_requests_total — callers do both.
+func (s *Server) optimizeLocal(ctx context.Context, req *OptimizeRequest, q *blitzsplit.Query, key string, start time.Time) (OptimizeResponse, *serveErr) {
 	// Occupancy is sampled before this request takes its own slot: it is the
 	// load the request *adds to*, and it decides how much deadline the
 	// request deserves under pressure.
@@ -361,7 +459,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// Coalesce on the canonical fingerprint before admission: a follower's
 	// expected cost is one cache hit, so it neither occupies a slot nor
 	// counts as an optimization.
-	key := s.flightKey(cq, req)
 	coalesced := false
 	if key != "" {
 		leader, wait := s.flights.join(key)
@@ -371,18 +468,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-wait:
 				// Leader finished; the cache now (normally) holds the plan.
-			case <-r.Context().Done():
-				s.fail(w, http.StatusServiceUnavailable, "client went away while coalesced")
-				return
+			case <-ctx.Done():
+				return OptimizeResponse{}, &serveErr{code: http.StatusServiceUnavailable,
+					msg: "client went away while coalesced"}
 			}
 		} else {
 			defer s.flights.leave(key)
 			// Leaders run a real optimization and must pass admission.
-			if !s.admit(r) {
+			if !s.admit(ctx) {
 				s.met.shed.Inc()
-				s.fail(w, http.StatusServiceUnavailable,
-					"over capacity: %d optimizations in flight", s.cfg.MaxInFlight)
-				return
+				return OptimizeResponse{}, &serveErr{code: http.StatusServiceUnavailable,
+					msg: fmt.Sprintf("over capacity: %d optimizations in flight", s.cfg.MaxInFlight)}
 			}
 			defer func() { <-s.inflight }()
 			s.met.optimizations.Inc()
@@ -390,11 +486,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	} else {
 		// Uncanonicalizable queries (none today: estimators cannot arrive
 		// via JSON) skip coalescing but still pass admission.
-		if !s.admit(r) {
+		if !s.admit(ctx) {
 			s.met.shed.Inc()
-			s.fail(w, http.StatusServiceUnavailable,
-				"over capacity: %d optimizations in flight", s.cfg.MaxInFlight)
-			return
+			return OptimizeResponse{}, &serveErr{code: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("over capacity: %d optimizations in flight", s.cfg.MaxInFlight)}
 		}
 		defer func() { <-s.inflight }()
 		s.met.optimizations.Inc()
@@ -402,14 +497,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	// Map the (possibly overload-shrunk) deadline onto the ladder: less
 	// time, cheaper rung, answer anyway.
-	options = append(options, blitzsplit.WithTimeout(timeout))
+	options := append(s.serveOptions(req), blitzsplit.WithTimeout(timeout))
 
-	res, err := s.eng.Optimize(r.Context(), q, options...)
+	res, err := s.eng.Optimize(ctx, q, options...)
 	if err != nil {
 		var ie *blitzsplit.InternalError
 		if errors.As(err, &ie) {
-			// An optimizer panic the engine recovered: the request fails 500
-			// below, the counter feeds the chaos harness and alerting.
+			// An optimizer panic the engine recovered: the request fails 500,
+			// the counter feeds the chaos harness and alerting.
 			s.met.panics.Inc()
 		}
 		code := http.StatusInternalServerError
@@ -433,8 +528,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			// deadlines — so the client is gone; the code is a formality.
 			code = http.StatusServiceUnavailable
 		}
-		s.fail(w, code, "%v", err)
-		return
+		return OptimizeResponse{}, &serveErr{code: code, msg: err.Error()}
 	}
 	if res.Degraded {
 		s.met.degraded(res.Mode).Inc()
@@ -454,8 +548,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.IncludePlan {
 		resp.Plan = res.Plan
 	}
-	s.met.requests(http.StatusOK).Inc()
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // decodeRequest reads and validates the request body, classifying failures:
@@ -473,22 +566,32 @@ func (s *Server) decodeRequest(r *http.Request) (*OptimizeRequest, int, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err)
 	}
+	if code, err := s.validateRequest(&req); err != nil {
+		return nil, code, err
+	}
+	return &req, 0, nil
+}
+
+// validateRequest applies the semantic checks shared by the single-request
+// and batch decoders: spec validity (400), server size limits (422), and
+// option sanity (400).
+func (s *Server) validateRequest(req *OptimizeRequest) (int, error) {
 	if err := req.File.Validate(); err != nil {
-		return nil, http.StatusBadRequest, err
+		return http.StatusBadRequest, err
 	}
 	if n := len(req.Relations); n > s.cfg.MaxRelations {
-		return nil, http.StatusUnprocessableEntity,
+		return http.StatusUnprocessableEntity,
 			fmt.Errorf("%d relations exceeds the server limit of %d", n, s.cfg.MaxRelations)
 	}
 	if req.TimeoutMS < 0 {
-		return nil, http.StatusBadRequest, fmt.Errorf("timeout_ms must be ≥ 0")
+		return http.StatusBadRequest, fmt.Errorf("timeout_ms must be ≥ 0")
 	}
 	if req.Model != "" {
 		if _, err := cost.ByName(req.Model); err != nil {
-			return nil, http.StatusBadRequest, err
+			return http.StatusBadRequest, err
 		}
 	}
-	return &req, 0, nil
+	return 0, nil
 }
 
 // flightKey derives the coalescing key: the canonical fingerprint extended
@@ -496,24 +599,27 @@ func (s *Server) decodeRequest(r *http.Request) (*OptimizeRequest, int, error) {
 // queries — and isomorphic ones under relabeling — share a key; the
 // fingerprint is exact (never a hash), so distinct queries never coalesce.
 // The canonicalizer comes from a pool so each request reuses refinement
-// scratch instead of re-allocating it.
-func (s *Server) flightKey(cq core.Query, req *OptimizeRequest) string {
+// scratch instead of re-allocating it. The bare fingerprint is also returned
+// (a fresh copy): it is the response's identity field and what the cluster
+// ring shards on.
+func (s *Server) flightKey(cq core.Query, req *OptimizeRequest) (string, []byte) {
 	c, _ := s.canonPool.Get().(*canon.Canonicalizer)
 	if c == nil {
 		c = new(canon.Canonicalizer)
 	}
 	if err := c.Canonicalize(cq, canon.Options{SelectivityQuantum: s.quantum}); err != nil {
 		s.canonPool.Put(c)
-		return ""
+		return "", nil
 	}
 	key := string(c.Fingerprint()) + "\x00" + req.Model + "\x00" + strconv.FormatBool(req.LeftDeep)
+	fp := append([]byte(nil), c.Fingerprint()...)
 	s.canonPool.Put(c)
-	return key
+	return key, fp
 }
 
 // admit takes an in-flight slot, waiting up to AdmissionWait (bounded also
 // by the client's context). False means the request should be shed.
-func (s *Server) admit(r *http.Request) bool {
+func (s *Server) admit(ctx context.Context) bool {
 	select {
 	case s.inflight <- struct{}{}:
 		return true
@@ -526,7 +632,7 @@ func (s *Server) admit(r *http.Request) bool {
 		return true
 	case <-t.C:
 		return false
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		return false
 	}
 }
